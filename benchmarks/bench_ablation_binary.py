@@ -1,0 +1,36 @@
+"""Ablation — SCS-Binary vs SCS-Expand (paper remark: 0.86x-1.08x)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ablations
+from repro.search.binary import scs_binary
+from repro.search.expand import scs_expand
+
+from benchmarks.conftest import BENCH_DATASETS, BENCH_SCALE
+
+
+def test_binary_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_binary(datasets=("DT",), scale=BENCH_SCALE, queries=3),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    for row in result.rows:
+        # The two algorithms are in the same ballpark (paper: 0.86x-1.08x; we
+        # allow a generous factor because of pure-Python noise at small scale).
+        assert 0.1 <= row["binary/expand"] <= 10.0
+
+
+@pytest.mark.parametrize("algorithm", ["expand", "binary"])
+def test_binary_vs_expand(benchmark, bench_indexes, bench_queries, algorithm):
+    dataset = BENCH_DATASETS[3]  # DT-like
+    index = bench_indexes[dataset]
+    alpha, beta, queries = bench_queries[dataset]
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    communities = {q: index.community(q, alpha, beta) for q in queries}
+    search = scs_expand if algorithm == "expand" else scs_binary
+    benchmark(lambda: [search(communities[q], q, alpha, beta) for q in queries])

@@ -1,0 +1,38 @@
+"""Ablation — the expansion parameter ε of SCS-Expand (the paper argues ε = 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ablations
+from repro.bench.workloads import sample_core_queries, threshold_from_fraction
+from repro.search.expand import scs_expand
+
+from benchmarks.conftest import BENCH_SCALE
+
+EPSILONS = (1.25, 2.0, 4.0)
+
+
+def test_epsilon_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_epsilon(scale=BENCH_SCALE, queries=3, epsilons=EPSILONS),
+        rounds=1,
+        iterations=1,
+    )
+    assert {row["epsilon"] for row in result.rows} == set(EPSILONS)
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_expand_with_epsilon(benchmark, bench_indexes, bench_queries, epsilon):
+    dataset = "ML"
+    index = bench_indexes[dataset]
+    alpha, beta, _ = bench_queries[dataset]
+    queries = sample_core_queries(index, alpha, beta, 3, seed=4)
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    communities = {q: index.community(q, alpha, beta) for q in queries}
+    benchmark(
+        lambda: [
+            scs_expand(communities[q], q, alpha, beta, epsilon=epsilon) for q in queries
+        ]
+    )

@@ -1,0 +1,56 @@
+"""Ablation — incremental Iδ maintenance vs rebuilding after each update."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.experiments import ablations
+from repro.datasets.registry import load_dataset
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.index.maintenance import DynamicDegeneracyIndex
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_maintenance_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_maintenance(scale=BENCH_SCALE, updates=4), rounds=1, iterations=1
+    )
+    assert result.rows and result.rows[0]["updates"] == 4
+
+
+def _insertions(graph, count, seed):
+    rng = random.Random(seed)
+    uppers = list(graph.upper_labels())
+    lowers = list(graph.lower_labels())
+    return [(rng.choice(uppers), rng.choice(lowers), float(rng.randint(1, 5))) for _ in range(count)]
+
+
+def test_incremental_updates(benchmark):
+    graph = load_dataset("GH", scale=BENCH_SCALE)
+    updates = _insertions(graph, 3, seed=1)
+
+    def run():
+        dynamic = DynamicDegeneracyIndex(graph)
+        for u, v, w in updates:
+            dynamic.insert_edge(u, v, w)
+        return dynamic
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_rebuild_updates(benchmark):
+    graph = load_dataset("GH", scale=BENCH_SCALE)
+    updates = _insertions(graph, 3, seed=1)
+
+    def run():
+        working = graph.copy()
+        index = DegeneracyIndex(working)
+        for u, v, w in updates:
+            working.add_edge(u, v, w)
+            index = DegeneracyIndex(working)
+        return index
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

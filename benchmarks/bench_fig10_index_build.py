@@ -1,0 +1,41 @@
+"""Figure 10 — index construction time (Iv, Iα_bs, Iβ_bs, Iδ)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.basic_index import BasicIndex
+from repro.index.bicore_index import BicoreIndex
+from repro.index.degeneracy_index import DegeneracyIndex
+
+from benchmarks.conftest import BENCH_DATASETS
+
+BUILD_DATASETS = BENCH_DATASETS[:3]
+BASIC_LEVEL_CAP = 6
+
+
+@pytest.mark.parametrize("dataset", BUILD_DATASETS)
+def test_build_bicore_index(benchmark, bench_graphs, dataset):
+    graph = bench_graphs[dataset]
+    index = benchmark.pedantic(lambda: BicoreIndex(graph), rounds=2, iterations=1)
+    assert index.delta >= 1
+
+
+@pytest.mark.parametrize("dataset", BUILD_DATASETS)
+def test_build_degeneracy_index(benchmark, bench_graphs, dataset):
+    graph = bench_graphs[dataset]
+    index = benchmark.pedantic(lambda: DegeneracyIndex(graph), rounds=2, iterations=1)
+    assert index.stats().entries > 0
+
+
+@pytest.mark.parametrize("dataset", BUILD_DATASETS)
+@pytest.mark.parametrize("direction", ["alpha", "beta"])
+def test_build_basic_index_capped(benchmark, bench_graphs, dataset, direction):
+    """Capped basic-index build; the full build grows with α_max / β_max."""
+    graph = bench_graphs[dataset]
+    index = benchmark.pedantic(
+        lambda: BasicIndex(graph, direction, max_level=BASIC_LEVEL_CAP),
+        rounds=1,
+        iterations=1,
+    )
+    assert index.max_level <= BASIC_LEVEL_CAP

@@ -1,0 +1,34 @@
+"""Figure 11 — index sizes (stored entries) of Iv, Iα_bs, Iβ_bs and Iδ."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig11
+
+from benchmarks.conftest import BENCH_SCALE
+
+SIZE_DATASETS = ("BS", "GH", "SO", "EN")
+
+
+def test_fig11_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11.run(scale=BENCH_SCALE, datasets=SIZE_DATASETS), rounds=1, iterations=1
+    )
+    assert len(result.rows) == len(SIZE_DATASETS)
+    for row in result.rows:
+        # Iv stores vertex-level information only: it is the smallest index.
+        assert row["Iv_entries"] <= row["Idelta_entries"]
+        # Iδ stays within its O(δ·m) bound (2·δ·|E| entries across both halves).
+        assert row["Idelta_entries"] <= 2 * row["|E|"] * max(1, row["Idelta/|E|"] + 1)
+
+
+def test_basic_index_blowup_on_hub_dataset(benchmark, bench_graphs):
+    """On the hub-heavy EN-like dataset the basic index dwarfs Iδ (Section III-B)."""
+    from repro.datasets.registry import load_dataset
+    from repro.index.degeneracy_index import DegeneracyIndex
+
+    graph = load_dataset("EN", scale=BENCH_SCALE)
+    ia_entries = benchmark(lambda: fig11.basic_index_entry_count(graph, "alpha"))
+    idelta_entries = DegeneracyIndex(graph).stats().entries
+    assert ia_entries > idelta_entries

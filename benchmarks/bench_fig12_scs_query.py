@@ -1,0 +1,70 @@
+"""Figure 12 — significant-community query time: Baseline vs Peel vs Expand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.baseline import scs_baseline
+from repro.search.expand import scs_expand
+from repro.search.peel import scs_peel
+
+from benchmarks.conftest import BENCH_DATASETS
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_scs_baseline(benchmark, bench_graphs, bench_queries, dataset):
+    graph = bench_graphs[dataset]
+    alpha, beta, queries = bench_queries[dataset]
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    benchmark.pedantic(
+        lambda: [scs_baseline(graph, q, alpha, beta) for q in queries],
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_scs_peel(benchmark, bench_indexes, bench_queries, dataset):
+    index = bench_indexes[dataset]
+    alpha, beta, queries = bench_queries[dataset]
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    benchmark.pedantic(
+        lambda: [
+            scs_peel(index.community(q, alpha, beta), q, alpha, beta) for q in queries
+        ],
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_scs_expand(benchmark, bench_indexes, bench_queries, dataset):
+    index = bench_indexes[dataset]
+    alpha, beta, queries = bench_queries[dataset]
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    benchmark.pedantic(
+        lambda: [
+            scs_expand(index.community(q, alpha, beta), q, alpha, beta) for q in queries
+        ],
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_two_step_beats_baseline(bench_graphs, bench_indexes, bench_queries, benchmark):
+    """The headline of Figure 12: the indexed two-step search scans far fewer edges."""
+    dataset = BENCH_DATASETS[0]
+    graph = bench_graphs[dataset]
+    index = bench_indexes[dataset]
+    alpha, beta, queries = bench_queries[dataset]
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    community_sizes = benchmark.pedantic(
+        lambda: [index.community(q, alpha, beta).num_edges for q in queries],
+        rounds=1,
+        iterations=1,
+    )
+    assert max(community_sizes) <= graph.num_edges

@@ -1,0 +1,50 @@
+"""Figure 13 — SCS query time while varying α and β (peel vs expand crossover)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig13
+from repro.bench.workloads import sample_core_queries, threshold_from_fraction
+from repro.search.expand import scs_expand
+from repro.search.peel import scs_peel
+
+from benchmarks.conftest import BENCH_SCALE
+
+SWEEP_DATASET = "ML"
+FRACTIONS = (0.2, 0.8)
+
+
+def test_fig13_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig13.run(
+            scale=BENCH_SCALE,
+            datasets=(SWEEP_DATASET,),
+            fractions=FRACTIONS,
+            queries=3,
+            include_baseline=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    # The search space shrinks monotonically as the thresholds grow.
+    sizes = [row["|C(q)|"] for row in result.rows]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("algorithm", ["peel", "expand"])
+def test_scs_per_fraction(benchmark, bench_graphs, bench_indexes, fraction, algorithm):
+    index = bench_indexes[SWEEP_DATASET]
+    alpha = beta = threshold_from_fraction(index.delta, fraction)
+    queries = sample_core_queries(index, alpha, beta, 3, seed=2)
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    communities = {q: index.community(q, alpha, beta) for q in queries}
+    search = scs_peel if algorithm == "peel" else scs_expand
+    benchmark.pedantic(
+        lambda: [search(communities[q], q, alpha, beta) for q in queries],
+        rounds=2,
+        iterations=1,
+    )

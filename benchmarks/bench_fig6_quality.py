@@ -1,0 +1,21 @@
+"""Figure 6 — community quality of the five models (density / dislike users)."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig6
+
+
+def test_fig6_experiment(benchmark):
+    result = benchmark.pedantic(lambda: fig6.run(fractions=(0.6,)), rounds=1, iterations=1)
+    by_model = {row["model"]: row for row in result.rows if row["density"] is not None}
+    assert "SC" in by_model and "(a,b)-core" in by_model
+
+    sc = by_model["SC"]
+    core = by_model["(a,b)-core"]
+    # The paper's headline claims: SC has a higher average rating and fewer
+    # dislike users than the structure-only (α,β)-core community.
+    assert sc["avg_rating"] > core["avg_rating"]
+    assert sc["dislike_pct"] <= core["dislike_pct"]
+    if "C4*" in by_model:
+        # C4* ignores structure: it must not beat SC on dislike users.
+        assert by_model["C4*"]["dislike_pct"] >= sc["dislike_pct"]

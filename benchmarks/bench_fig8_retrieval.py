@@ -1,0 +1,43 @@
+"""Figure 8 — (α,β)-community retrieval: Qo vs Qv vs Qopt on every dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.queries import online_community_query
+
+from benchmarks.conftest import BENCH_DATASETS
+
+
+def _run_all(queries, function):
+    for query in queries:
+        function(query)
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_qo_online(benchmark, bench_graphs, bench_queries, dataset):
+    graph = bench_graphs[dataset]
+    alpha, beta, queries = bench_queries[dataset]
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    benchmark(
+        lambda: _run_all(queries, lambda q: online_community_query(graph, q, alpha, beta))
+    )
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_qv_bicore_index(benchmark, bench_bicore_indexes, bench_queries, dataset):
+    index = bench_bicore_indexes[dataset]
+    alpha, beta, queries = bench_queries[dataset]
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    benchmark(lambda: _run_all(queries, lambda q: index.community(q, alpha, beta)))
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_qopt_degeneracy_index(benchmark, bench_indexes, bench_queries, dataset):
+    index = bench_indexes[dataset]
+    alpha, beta, queries = bench_queries[dataset]
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    benchmark(lambda: _run_all(queries, lambda q: index.community(q, alpha, beta)))

@@ -1,0 +1,44 @@
+"""Figure 9 — retrieval time while varying α and β (c·δ sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig9
+from repro.bench.workloads import sample_core_queries, threshold_from_fraction
+from repro.index.queries import online_community_query
+
+from benchmarks.conftest import BENCH_SCALE
+
+SWEEP_DATASET = "SO"
+FRACTIONS = (0.3, 0.7)
+
+
+def test_fig9_experiment(benchmark):
+    """Regenerate the Figure 9 sweep on one dataset at benchmark scale."""
+    result = benchmark.pedantic(
+        lambda: fig9.run(scale=BENCH_SCALE, datasets=(SWEEP_DATASET,), fractions=FRACTIONS, queries=3),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    # Qopt never loses to the online algorithm by more than noise.
+    for row in result.rows:
+        assert row["Qopt_s"] <= row["Qo_s"] * 1.5
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("algorithm", ["Qo", "Qopt"])
+def test_retrieval_per_fraction(benchmark, bench_graphs, bench_indexes, fraction, algorithm):
+    """Per-point timings of the sweep: the gap widens as c grows."""
+    graph = bench_graphs[SWEEP_DATASET]
+    index = bench_indexes[SWEEP_DATASET]
+    alpha = beta = threshold_from_fraction(index.delta, fraction)
+    queries = sample_core_queries(index, alpha, beta, 5, seed=1)
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    if algorithm == "Qo":
+        run = lambda: [online_community_query(graph, q, alpha, beta) for q in queries]
+    else:
+        run = lambda: [index.community(q, alpha, beta) for q in queries]
+    benchmark(run)

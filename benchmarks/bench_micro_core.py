@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the core primitives (not tied to a specific figure).
+
+These give per-operation baselines that make regressions in the low-level
+machinery visible independently of the end-to-end experiments: (α,β)-core
+peeling, offset computation, butterfly counting and the union-find tracker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition.abcore import abcore_vertices
+from repro.decomposition.offsets import alpha_offsets, beta_offsets
+from repro.graph.bipartite import Side, Vertex
+from repro.models.butterfly import butterflies_per_edge
+from repro.utils.unionfind import ComponentTracker
+
+from benchmarks.conftest import BENCH_DATASETS
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS[:3])
+def test_abcore_peeling(benchmark, bench_graphs, dataset):
+    graph = bench_graphs[dataset]
+    survivors = benchmark(lambda: abcore_vertices(graph, 2, 2))
+    assert isinstance(survivors, set)
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS[:3])
+def test_alpha_offsets(benchmark, bench_graphs, dataset):
+    graph = bench_graphs[dataset]
+    offsets = benchmark(lambda: alpha_offsets(graph, 2))
+    assert len(offsets) == graph.num_vertices
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS[:3])
+def test_beta_offsets(benchmark, bench_graphs, dataset):
+    graph = bench_graphs[dataset]
+    offsets = benchmark(lambda: beta_offsets(graph, 2))
+    assert len(offsets) == graph.num_vertices
+
+
+def test_butterfly_support(benchmark, bench_graphs):
+    graph = bench_graphs["BS"]
+    support = benchmark(lambda: butterflies_per_edge(graph))
+    assert len(support) == graph.num_edges
+
+
+def test_component_tracker_throughput(benchmark, bench_graphs):
+    graph = bench_graphs["GH"]
+    edges = [(Vertex(Side.UPPER, u), Vertex(Side.LOWER, v)) for u, v, _ in graph.edges()]
+
+    def run():
+        tracker = ComponentTracker(alpha=2, beta=2)
+        for u, v in edges:
+            tracker.add_edge(u, v)
+        return tracker
+
+    benchmark(run)

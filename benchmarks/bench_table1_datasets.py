@@ -1,0 +1,33 @@
+"""Table I — dataset summary statistics (degeneracy, α_max, β_max, |Rδδ|)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import table1
+from repro.decomposition.degeneracy import degeneracy
+
+from benchmarks.conftest import BENCH_DATASETS, BENCH_SCALE
+
+
+def test_table1_experiment(benchmark):
+    """Regenerate Table I for a subset of datasets."""
+    result = benchmark.pedantic(
+        lambda: table1.run(scale=BENCH_SCALE, datasets=BENCH_DATASETS),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.rows) == len(BENCH_DATASETS)
+    for row in result.rows:
+        # The paper's qualitative relations from Table I.
+        assert row["delta"] <= row["alpha_max"]
+        assert row["delta"] <= row["beta_max"]
+        assert row["|R_dd|"] <= row["|E|"]
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_degeneracy_computation(benchmark, bench_graphs, dataset):
+    """Micro-benchmark: computing δ (Algorithm 3 line 2) per dataset."""
+    graph = bench_graphs[dataset]
+    delta = benchmark(lambda: degeneracy(graph))
+    assert delta >= 1

@@ -1,0 +1,19 @@
+"""Table II — case-study statistics of a single query."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table2
+
+
+def test_table2_experiment(benchmark):
+    result = benchmark.pedantic(lambda: table2.run(fraction=0.6), rounds=1, iterations=1)
+    rows = {row["model"]: row for row in result.rows if row["|U|"]}
+    assert "SC" in rows
+    sc = rows["SC"]
+    # SC is the reference community: similarity 100%, best minimum rating.
+    assert sc["Sim%"] == 100.0
+    for model, row in rows.items():
+        if model == "SC":
+            continue
+        assert row["Rmin"] <= sc["Rmin"]
+        assert row["Ravg"] <= sc["Ravg"] + 0.05

@@ -1,0 +1,39 @@
+"""Table III — SCS running time under the AE / RW / UF / SK weight distributions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import table3
+from repro.bench.workloads import sample_core_queries, threshold_from_fraction
+from repro.datasets.registry import load_dataset
+from repro.graph.weights import apply_weights
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.search.peel import scs_peel
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_table3_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: table3.run(scale=BENCH_SCALE, queries=3), rounds=1, iterations=1
+    )
+    models = {row["weights"] for row in result.rows}
+    assert {"AE", "RW", "UF", "SK"} <= models
+    by_model = {row["weights"]: row for row in result.rows}
+    # The all-equal case degenerates to returning C_{α,β}(q): it is never the slowest.
+    ae = by_model["AE"]["SCS-Peel_s"]
+    assert ae <= max(row["SCS-Peel_s"] for row in result.rows) + 1e-9
+
+
+@pytest.mark.parametrize("model", ["AE", "RW", "UF", "SK"])
+def test_peel_under_weight_model(benchmark, model):
+    graph = load_dataset("DT", scale=BENCH_SCALE)
+    apply_weights(graph, model, seed=3)
+    index = DegeneracyIndex(graph)
+    alpha = beta = threshold_from_fraction(index.delta, 0.7)
+    queries = sample_core_queries(index, alpha, beta, 3, seed=0)
+    if not queries:
+        pytest.skip("no query vertex in the core")
+    communities = {q: index.community(q, alpha, beta) for q in queries}
+    benchmark(lambda: [scs_peel(communities[q], q, alpha, beta) for q in queries])

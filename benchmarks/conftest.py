@@ -1,0 +1,53 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+The benchmarks exercise the same experiment code as ``python -m repro.bench``
+but at reduced scale so that ``pytest benchmarks/ --benchmark-only`` finishes
+in a few minutes on a laptop.  Dataset scale and query counts can be bumped
+with the ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_QUERIES`` environment variables.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workloads import sample_core_queries, threshold_from_fraction
+from repro.datasets.registry import load_dataset
+from repro.index.bicore_index import BicoreIndex
+from repro.index.degeneracy_index import DegeneracyIndex
+
+#: Scale factor applied to every registry dataset used by the benchmarks.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+#: Number of random queries averaged per measurement.
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "5"))
+#: Subset of datasets used by the "all datasets" figures to bound runtime.
+BENCH_DATASETS = ("BS", "GH", "SO", "DT", "ML")
+
+
+@pytest.fixture(scope="session")
+def bench_graphs():
+    """Scaled registry datasets keyed by name (built once per session)."""
+    return {name: load_dataset(name, scale=BENCH_SCALE) for name in BENCH_DATASETS}
+
+
+@pytest.fixture(scope="session")
+def bench_indexes(bench_graphs):
+    """Degeneracy-bounded indexes for every benchmark dataset."""
+    return {name: DegeneracyIndex(graph) for name, graph in bench_graphs.items()}
+
+
+@pytest.fixture(scope="session")
+def bench_bicore_indexes(bench_graphs):
+    """Bicore indexes for every benchmark dataset."""
+    return {name: BicoreIndex(graph) for name, graph in bench_graphs.items()}
+
+
+@pytest.fixture(scope="session")
+def bench_queries(bench_indexes):
+    """Sampled (alpha, beta, queries) per dataset at α = β = 0.7·δ."""
+    workload = {}
+    for name, index in bench_indexes.items():
+        alpha = beta = threshold_from_fraction(index.delta, 0.7)
+        workload[name] = (alpha, beta, sample_core_queries(index, alpha, beta, BENCH_QUERIES, seed=0))
+    return workload

@@ -1,0 +1,84 @@
+"""Keeping the index fresh while the graph changes.
+
+E-commerce and rating graphs change continuously.  This example uses
+:class:`~repro.index.maintenance.DynamicDegeneracyIndex` to absorb a stream of
+edge insertions and removals while staying query-consistent with a fresh
+rebuild, and shows how index persistence works.  The maintenance implemented
+here is component-granular (see DESIGN.md): on a graph that is a single giant
+component it does about as much work as a rebuild, and its benefit shows on
+multi-component graphs — both timings are printed so you can see the
+trade-off honestly.
+
+Run with::
+
+    python examples/index_maintenance.py
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro import DegeneracyIndex, DynamicDegeneracyIndex, upper
+from repro.datasets.registry import load_dataset
+from repro.index.serialization import load_index, save_index
+from repro.utils.timer import Timer
+
+
+def main() -> None:
+    graph = load_dataset("GH", scale=0.4)
+    print(f"Dataset GH (scaled): {graph.num_edges} edges, "
+          f"{graph.num_upper}+{graph.num_lower} vertices")
+
+    dynamic = DynamicDegeneracyIndex(graph)
+    print(f"Initial build: delta = {dynamic.delta}, "
+          f"{dynamic.stats().entries} stored entries")
+
+    rng = random.Random(0)
+    uppers = list(graph.upper_labels())
+    lowers = list(graph.lower_labels())
+    working = graph.copy()
+
+    with Timer() as incremental_timer:
+        for step in range(8):
+            if step % 2 == 0:
+                u, v = rng.choice(uppers), rng.choice(lowers)
+                weight = float(rng.randint(1, 5))
+                dynamic.insert_edge(u, v, weight)
+                working.add_edge(u, v, weight)
+                print(f"  + inserted ({u}, {v}, {weight:g})")
+            else:
+                u, v, _ = rng.choice(list(working.edges()))
+                dynamic.remove_edge(u, v)
+                working.remove_edge(u, v)
+                working.discard_isolated()
+                print(f"  - removed  ({u}, {v})")
+    print(f"8 incremental updates in {incremental_timer.elapsed:.3f}s "
+          f"(delta is now {dynamic.delta})")
+
+    with Timer() as rebuild_timer:
+        fresh = DegeneracyIndex(working)
+    print(f"One full rebuild takes {rebuild_timer.elapsed:.3f}s for comparison")
+
+    # Verify both indexes agree on a query.
+    probe = next(iter(working.upper_labels()))
+    alpha = beta = max(1, dynamic.delta // 2)
+    try:
+        maintained = dynamic.community(upper(probe), alpha, beta).edge_set()
+        rebuilt = fresh.community(upper(probe), alpha, beta).edge_set()
+        print(f"Maintained and rebuilt indexes agree on the probe query: "
+              f"{maintained == rebuilt}")
+    except Exception as exc:  # query vertex may fall outside the core
+        print(f"Probe query skipped ({exc})")
+
+    # Persist the maintained index and load it back.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_index(dynamic, Path(tmp) / "gh_index.pkl")
+        loaded = load_index(path)
+        print(f"Index persisted to {path.name} and reloaded "
+              f"(delta = {loaded.delta}, {loaded.stats().entries} entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: the paper's running example (Figure 2) end to end.
+
+Builds the example weighted bipartite graph, constructs the degeneracy-bounded
+index I_delta, retrieves the (2,2)-community of ``u3`` and extracts its
+significant (2,2)-community with every search algorithm.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CommunitySearcher, upper
+from repro.graph.generators import paper_example_graph
+
+
+def main() -> None:
+    graph = paper_example_graph()
+    print(f"Graph: {graph.num_upper} upper vertices, {graph.num_lower} lower vertices, "
+          f"{graph.num_edges} edges")
+
+    searcher = CommunitySearcher(graph)
+    print(f"Degeneracy delta = {searcher.degeneracy} "
+          f"(index covers every (alpha, beta) combination)")
+
+    query = upper("u3")
+    community = searcher.community(query, 2, 2)
+    print(f"\nStep 1 - the (2,2)-community of {query!r}: "
+          f"{community.num_edges} edges over {community.num_vertices} vertices")
+    print("   users :", sorted(community.upper_labels()))
+    print("   items :", sorted(community.lower_labels()))
+
+    print("\nStep 2 - the significant (2,2)-community, by every algorithm:")
+    for method in ("peel", "expand", "binary", "baseline"):
+        result = searcher.significant_community(query, 2, 2, method=method)
+        print(f"   {method:<9} -> {sorted(result.graph.edge_set())} "
+              f"significance={result.significance:g} "
+              f"(searched {result.search_space_edges} edges)")
+
+    result = searcher.significant_community(query, 2, 2)
+    print("\nSummary:", result.describe())
+    print("The answer matches Figure 2 of the paper: the 2x2 block on {u3, u4} x {v1, v2}.")
+
+
+if __name__ == "__main__":
+    main()

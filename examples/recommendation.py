@@ -1,0 +1,76 @@
+"""Personalized recommendation on a user-movie rating network.
+
+This is the paper's motivating application (Section I): given a query user,
+the significant (alpha, beta)-community contains users who consistently give
+each other's favourite movies high ratings — ideal candidates for the friend
+list — together with the movies that community rates highly — candidates for
+recommendation.  The example also contrasts the result with the plain
+(alpha, beta)-core community to show why edge weights matter (Figure 7).
+
+Run with::
+
+    python examples/recommendation.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import CommunitySearcher, Side
+from repro.datasets.movielens import genre_subgraph, movielens_like
+from repro.models.metrics import average_weight, dislike_user_fraction
+
+
+def main() -> None:
+    data = movielens_like(
+        num_fans=25,
+        num_fan_movies=20,
+        num_casual_users=90,
+        num_casual_movies=25,
+        num_other_movies=20,
+        casual_ratings_per_user=12,
+        seed=3,
+    )
+    comedy = genre_subgraph(data, "comedy")
+    query = data.query
+    print(f"Comedy rating subgraph: {comedy.num_upper} users x {comedy.num_lower} movies, "
+          f"{comedy.num_edges} ratings")
+    print(f"Query user: {query.label}")
+
+    searcher = CommunitySearcher(comedy)
+    alpha = beta = max(2, int(0.6 * searcher.degeneracy))
+    print(f"Using alpha = beta = {alpha} (0.6 x degeneracy {searcher.degeneracy})\n")
+
+    core_community = searcher.community(query, alpha, beta)
+    result = searcher.significant_community(query, alpha, beta, method="expand")
+    significant = result.graph
+
+    print("(alpha,beta)-core community (structure only):")
+    print(f"   {core_community.num_upper} users, {core_community.num_lower} movies, "
+          f"average rating {average_weight(core_community):.2f}, "
+          f"dislike users {100 * dislike_user_fraction(core_community, alpha):.0f}%")
+    print("Significant community (structure + rating significance):")
+    print(f"   {significant.num_upper} users, {significant.num_lower} movies, "
+          f"average rating {average_weight(significant):.2f}, "
+          f"minimum rating {result.significance:.1f}, "
+          f"dislike users {100 * dislike_user_fraction(significant, alpha):.0f}%\n")
+
+    friends = sorted(label for label in significant.upper_labels() if label != query.label)
+    print(f"Recommended friends ({len(friends)}):", ", ".join(map(str, friends[:8])),
+          "..." if len(friends) > 8 else "")
+
+    # Movies the community loves that the query user has not rated yet.
+    seen = set(comedy.neighbors(Side.UPPER, query.label))
+    scores = Counter()
+    for movie in significant.lower_labels():
+        if movie in seen:
+            continue
+        ratings = significant.neighbors(Side.LOWER, movie)
+        scores[movie] = sum(ratings.values()) / len(ratings)
+    print("Movies to recommend:")
+    for movie, score in scores.most_common(5):
+        print(f"   {movie:<16} community average {score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

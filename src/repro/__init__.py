@@ -1,0 +1,73 @@
+"""repro — significant (α,β)-community search on weighted bipartite graphs.
+
+A from-scratch Python reproduction of *"Efficient and Effective Community
+Search on Large-scale Bipartite Graphs"* (Wang et al., ICDE 2021): the
+(α,β)-core machinery, the optimal community-retrieval indexes (``Iv``,
+``Iα_bs``/``Iβ_bs``, ``I_δ``), the significant-community search algorithms
+(``SCS-Peel``, ``SCS-Expand``, ``SCS-Binary``, ``SCS-Baseline``), the
+comparison community models (bitruss, biclique, threshold) and the full
+experiment harness that regenerates every table and figure of the paper's
+evaluation at laptop scale.
+
+Quickstart
+----------
+>>> from repro import CommunitySearcher, upper
+>>> from repro.graph.generators import paper_example_graph
+>>> searcher = CommunitySearcher(paper_example_graph())
+>>> searcher.significant_community(upper("u3"), 2, 2).describe()
+"significant (2,2)-community of U('u3'): 2 upper x 2 lower vertices, 4 edges, significance 13"
+"""
+
+from repro.api import CommunitySearcher
+from repro.exceptions import (
+    DatasetError,
+    EmptyCommunityError,
+    GraphError,
+    IndexConsistencyError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex, lower, upper
+from repro.index.basic_index import BasicIndex
+from repro.index.bicore_index import BicoreIndex
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.index.maintenance import DynamicDegeneracyIndex
+from repro.index.queries import online_community_query
+from repro.search.baseline import scs_baseline
+from repro.search.binary import scs_binary
+from repro.search.expand import scs_expand
+from repro.search.peel import scs_peel
+from repro.search.result import SearchResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "BipartiteGraph",
+    "Side",
+    "Vertex",
+    "upper",
+    "lower",
+    # facade
+    "CommunitySearcher",
+    "SearchResult",
+    # indexes and queries
+    "DegeneracyIndex",
+    "DynamicDegeneracyIndex",
+    "BicoreIndex",
+    "BasicIndex",
+    "online_community_query",
+    # search algorithms
+    "scs_peel",
+    "scs_expand",
+    "scs_binary",
+    "scs_baseline",
+    # errors
+    "ReproError",
+    "GraphError",
+    "InvalidParameterError",
+    "EmptyCommunityError",
+    "IndexConsistencyError",
+    "DatasetError",
+]

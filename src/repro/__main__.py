@@ -1,0 +1,134 @@
+"""User-facing command line interface: ``python -m repro``.
+
+Two subcommands:
+
+``search``
+    Run a significant (α,β)-community query against a registry dataset or a
+    KONECT-style edge-list file::
+
+        python -m repro search --dataset ML --alpha 4 --beta 4
+        python -m repro search --edges ratings.txt --query-upper alice --alpha 3 --beta 2
+
+    When ``--query-upper`` / ``--query-lower`` is omitted, a query vertex is
+    picked automatically from the (α,β)-core.
+
+``info``
+    Print summary statistics (sizes, degeneracy, α_max / β_max) of a dataset
+    or edge-list file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import CommunitySearcher
+from repro.datasets.registry import load_dataset
+from repro.decomposition.degeneracy import degeneracy
+from repro.decomposition.offsets import max_alpha, max_beta
+from repro.exceptions import ReproError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.io import read_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Significant (alpha,beta)-community search on weighted bipartite graphs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser("search", help="run a significant community query")
+    _add_graph_arguments(search)
+    search.add_argument("--alpha", type=int, required=True)
+    search.add_argument("--beta", type=int, required=True)
+    search.add_argument("--query-upper", type=str, default=None, help="upper-layer query label")
+    search.add_argument("--query-lower", type=str, default=None, help="lower-layer query label")
+    search.add_argument(
+        "--method",
+        choices=["auto", "peel", "expand", "binary", "baseline"],
+        default="auto",
+    )
+    search.add_argument("--max-print", type=int, default=20, help="edges to print")
+
+    info = sub.add_parser("info", help="print summary statistics of a graph")
+    _add_graph_arguments(info)
+    return parser
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", type=str, help="registry dataset name (e.g. ML, BS)")
+    source.add_argument("--edges", type=str, help="path to a KONECT-style edge list")
+    parser.add_argument("--scale", type=float, default=1.0, help="registry dataset scale")
+
+
+def _load_graph(args: argparse.Namespace) -> BipartiteGraph:
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale)
+    return read_edge_list(args.edges)
+
+
+def _resolve_query(args: argparse.Namespace, searcher: CommunitySearcher) -> Vertex:
+    if args.query_upper is not None:
+        return Vertex(Side.UPPER, args.query_upper)
+    if args.query_lower is not None:
+        return Vertex(Side.LOWER, args.query_lower)
+    candidates = searcher.index.vertices_in_core(args.alpha, args.beta)
+    if not candidates:
+        raise ReproError(
+            f"the ({args.alpha},{args.beta})-core of this graph is empty; "
+            "choose smaller thresholds"
+        )
+    chosen = candidates[0]
+    print(f"(no query vertex given; using {chosen!r} from the core)")
+    return chosen
+
+
+def _run_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    print(f"graph      : {graph.name or '(unnamed)'}")
+    print(f"upper / lower / edges : {graph.num_upper} / {graph.num_lower} / {graph.num_edges}")
+    print(f"degeneracy : {degeneracy(graph)}")
+    print(f"alpha_max  : {max_alpha(graph)}")
+    print(f"beta_max   : {max_beta(graph)}")
+    if graph.num_edges:
+        print(f"weights    : min {graph.significance():g}, max {graph.max_weight():g}")
+    return 0
+
+
+def _run_search(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    searcher = CommunitySearcher(graph)
+    query = _resolve_query(args, searcher)
+    result = searcher.significant_community(
+        query, args.alpha, args.beta, method=args.method
+    )
+    print(result.describe())
+    print(f"method: {result.method}; search space: {result.search_space_edges} edges")
+    print(f"upper vertices: {', '.join(map(str, result.upper_labels()))}")
+    print(f"lower vertices: {', '.join(map(str, result.lower_labels()))}")
+    edges = result.edges()
+    for u, v, w in edges[: args.max_print]:
+        print(f"  ({u}, {v})  weight {w:g}")
+    if len(edges) > args.max_print:
+        print(f"  ... {len(edges) - args.max_print} more edges")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "info":
+            return _run_info(args)
+        return _run_search(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

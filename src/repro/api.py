@@ -1,0 +1,116 @@
+"""High-level facade: build an index once, run community searches against it.
+
+:class:`CommunitySearcher` wires together the two-step framework of the paper:
+
+1. the degeneracy-bounded index ``I_δ`` answers (α,β)-community queries in
+   optimal time;
+2. one of the search algorithms (peel / expand / binary / baseline) extracts
+   the significant (α,β)-community from it.
+
+Example
+-------
+>>> from repro import CommunitySearcher, upper
+>>> from repro.graph.generators import paper_example_graph
+>>> searcher = CommunitySearcher(paper_example_graph())
+>>> result = searcher.significant_community(upper("u3"), 2, 2)
+>>> sorted(result.graph.upper_labels())
+['u3', 'u4']
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.search.baseline import scs_baseline
+from repro.search.binary import scs_binary
+from repro.search.expand import scs_expand
+from repro.search.peel import scs_peel
+from repro.search.result import SearchResult
+
+__all__ = ["CommunitySearcher"]
+
+_COMMUNITY_METHODS = ("peel", "expand", "binary", "baseline", "auto")
+
+
+class CommunitySearcher:
+    """Two-step significant (α,β)-community search over one graph."""
+
+    def __init__(self, graph: BipartiteGraph, index: Optional[DegeneracyIndex] = None) -> None:
+        self._graph = graph
+        self._index = index if index is not None else DegeneracyIndex(graph)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> BipartiteGraph:
+        return self._graph
+
+    @property
+    def index(self) -> DegeneracyIndex:
+        return self._index
+
+    @property
+    def degeneracy(self) -> int:
+        """δ of the indexed graph — the largest usable ``min(α, β)``."""
+        return self._index.delta
+
+    # ------------------------------------------------------------------ #
+    def community(self, query: Vertex, alpha: int, beta: int) -> BipartiteGraph:
+        """Step 1: the (α,β)-community ``C_{α,β}(q)`` (Definition 3)."""
+        return self._index.community(query, alpha, beta)
+
+    def significant_community(
+        self,
+        query: Vertex,
+        alpha: int,
+        beta: int,
+        method: str = "auto",
+        epsilon: float = 2.0,
+    ) -> SearchResult:
+        """Step 2: the significant (α,β)-community ``R`` (Definition 5).
+
+        ``method`` selects the extraction algorithm: ``"peel"``, ``"expand"``,
+        ``"binary"``, ``"baseline"`` (index-free) or ``"auto"``.  The paper's
+        guidance, which ``"auto"`` follows, is that expansion wins when the
+        thresholds are small relative to δ (large search space, small answer)
+        while peeling wins for large thresholds.
+        """
+        if method not in _COMMUNITY_METHODS:
+            raise InvalidParameterError(
+                f"unknown method {method!r}; expected one of {_COMMUNITY_METHODS}"
+            )
+        if method == "baseline":
+            answer = scs_baseline(self._graph, query, alpha, beta, epsilon=epsilon)
+            search_space = self._graph.num_edges
+            return SearchResult(
+                graph=answer,
+                query=query,
+                alpha=alpha,
+                beta=beta,
+                method=method,
+                search_space_edges=search_space,
+            )
+
+        community = self.community(query, alpha, beta)
+        if method == "auto":
+            threshold_ratio = min(alpha, beta) / max(1, self.degeneracy)
+            method = "peel" if threshold_ratio >= 0.5 else "expand"
+        extractor: Dict[str, Callable[..., BipartiteGraph]] = {
+            "peel": scs_peel,
+            "expand": scs_expand,
+            "binary": scs_binary,
+        }
+        if method == "expand":
+            answer = scs_expand(community, query, alpha, beta, epsilon=epsilon)
+        else:
+            answer = extractor[method](community, query, alpha, beta)
+        return SearchResult(
+            graph=answer,
+            query=query,
+            alpha=alpha,
+            beta=beta,
+            method=method,
+            search_space_edges=community.num_edges,
+        )

@@ -1,0 +1,21 @@
+"""Experiment harness reproducing every table and figure of the paper's evaluation.
+
+Each experiment is a function returning an
+:class:`~repro.bench.harness.ExperimentResult` whose rows mirror the data
+points of the corresponding table or figure (Section V of the paper).  Run
+them from the command line::
+
+    python -m repro.bench list
+    python -m repro.bench table1
+    python -m repro.bench fig8 --scale 0.5
+    python -m repro.bench all --output results/
+
+or through the ``repro-bench`` console script.  The pytest-benchmark files in
+``benchmarks/`` wrap the same experiment code so that
+``pytest benchmarks/ --benchmark-only`` exercises every experiment end to end.
+"""
+
+from repro.bench.harness import ExperimentResult, run_experiment
+from repro.bench.registry import EXPERIMENTS, experiment_names
+
+__all__ = ["ExperimentResult", "run_experiment", "EXPERIMENTS", "experiment_names"]

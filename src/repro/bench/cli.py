@@ -1,0 +1,82 @@
+"""Command line interface: ``python -m repro.bench`` / ``repro-bench``.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro.bench list
+
+Run one experiment and print its table::
+
+    python -m repro.bench fig8 --scale 0.5 --queries 10
+
+Run everything and store JSON + text renderings::
+
+    python -m repro.bench all --output results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import run_experiment
+from repro.bench.registry import experiment_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables and figures of the ICDE 2021 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--queries", type=int, default=None, help="queries per measurement")
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument(
+        "--datasets",
+        type=str,
+        default=None,
+        help="comma separated dataset names (default: the experiment's own choice)",
+    )
+    parser.add_argument("--output", type=str, default=None, help="directory for JSON/text results")
+    return parser
+
+
+def _experiment_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.queries is not None:
+        kwargs["queries"] = args.queries
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.datasets is not None:
+        kwargs["datasets"] = [name.strip() for name in args.datasets.split(",") if name.strip()]
+    return kwargs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in experiment_names():
+            print(name)
+        return 0
+
+    names = experiment_names() if args.experiment == "all" else [args.experiment]
+    kwargs = _experiment_kwargs(args)
+    for name in names:
+        result = run_experiment(name, output_dir=args.output, **kwargs)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""One module per table / figure of the paper's evaluation (Section V)."""

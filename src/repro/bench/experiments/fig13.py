@@ -1,0 +1,98 @@
+"""Figure 13 — significant-community query time while varying α and β.
+
+On two datasets (DT and ML in the paper) the thresholds are swept as c·δ.
+For small thresholds the (α,β)-community is huge and the answer small, which
+favours SCS-Expand; for large thresholds the community is already small and
+SCS-Peel wins.  SCS-Baseline is insensitive to the thresholds because it
+always scans the whole connected component.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Sequence
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.workloads import (
+    SWEEP_FRACTIONS,
+    sample_core_queries,
+    threshold_from_fraction,
+    time_callable,
+)
+from repro.datasets.registry import load_dataset
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.search.baseline import scs_baseline
+from repro.search.expand import scs_expand
+from repro.search.peel import scs_peel
+
+__all__ = ["run"]
+
+DEFAULT_DATASETS = ("DT", "ML")
+
+
+def run(
+    scale: float = 1.0,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    fractions: Sequence[float] = SWEEP_FRACTIONS,
+    queries: int = 6,
+    seed: int = 0,
+    include_baseline: bool = True,
+    **_: object,
+) -> ExperimentResult:
+    """Regenerate Figure 13 (α/β sweeps for the SCS algorithms)."""
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        index = DegeneracyIndex(graph)
+        delta = index.delta
+        for fraction in fractions:
+            alpha = beta = threshold_from_fraction(delta, fraction)
+            sampled = sample_core_queries(index, alpha, beta, queries, seed=seed)
+            if not sampled:
+                continue
+            peel_times, expand_times, baseline_times, community_sizes, result_sizes = (
+                [], [], [], [], []
+            )
+            for query in sampled:
+                community = index.community(query, alpha, beta)
+                community_sizes.append(community.num_edges)
+                peel_times.append(
+                    time_callable(lambda: scs_peel(community, query, alpha, beta))
+                )
+                expand_times.append(
+                    time_callable(lambda: scs_expand(community, query, alpha, beta))
+                )
+                result_sizes.append(scs_peel(community, query, alpha, beta).num_edges)
+                if include_baseline:
+                    baseline_times.append(
+                        time_callable(lambda: scs_baseline(graph, query, alpha, beta))
+                    )
+            row = {
+                "dataset": name,
+                "c": fraction,
+                "alpha": alpha,
+                "beta": beta,
+                "queries": len(sampled),
+                "peel_s": round(statistics.mean(peel_times), 6),
+                "expand_s": round(statistics.mean(expand_times), 6),
+                "|C(q)|": round(statistics.mean(community_sizes), 1),
+                "|R|": round(statistics.mean(result_sizes), 1),
+            }
+            if include_baseline and baseline_times:
+                row["baseline_s"] = round(statistics.mean(baseline_times), 6)
+            rows.append(row)
+    return ExperimentResult(
+        experiment="fig13",
+        title="SCS query time varying α and β (Figure 13)",
+        rows=rows,
+        parameters={
+            "scale": scale,
+            "datasets": list(datasets),
+            "queries": queries,
+            "seed": seed,
+        },
+        paper_claim=(
+            "Expansion wins for small thresholds (large search space, small answer); "
+            "peeling wins for large thresholds; both depend on |C_{α,β}(q)| and |R|."
+        ),
+    )

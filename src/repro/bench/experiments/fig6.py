@@ -1,0 +1,142 @@
+"""Figure 6 — community quality of the five models on the user-movie network.
+
+The paper restricts MovieLens to comedy ratings, runs every community model
+for α = β = t ∈ {45, 50, 55} and reports (a) the bipartite density with the
+average rating on top of each bar and (b) the percentage of *dislike users*
+(users giving fewer than 0.6·t good ratings).  We reproduce both panels on the
+scaled MovieLens-like dataset, expressing t as a fraction of the comedy
+subgraph's degeneracy so that the sweep stays meaningful at any scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.bench.harness import ExperimentResult
+from repro.datasets.movielens import MovieLensData, genre_subgraph, movielens_like
+from repro.exceptions import EmptyCommunityError, ReproError
+from repro.graph.bipartite import BipartiteGraph
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.models.biclique import biclique_subgraph, greedy_biclique
+from repro.models.bitruss import bitruss_community
+from repro.models.metrics import average_weight, bipartite_density, dislike_user_fraction
+from repro.models.threshold import threshold_community
+from repro.search.peel import scs_peel
+
+__all__ = ["run", "build_effectiveness_dataset", "communities_for_threshold"]
+
+
+def build_effectiveness_dataset(seed: int = 7) -> MovieLensData:
+    """The scaled MovieLens-like dataset shared by Figure 6 and Table II."""
+    return movielens_like(
+        num_fans=30,
+        num_fan_movies=24,
+        num_casual_users=120,
+        num_casual_movies=30,
+        num_other_movies=25,
+        fan_density=0.85,
+        casual_ratings_per_user=15,
+        fan_movie_fraction=0.15,
+        seed=seed,
+    )
+
+
+def communities_for_threshold(
+    comedy: BipartiteGraph,
+    index: DegeneracyIndex,
+    data: MovieLensData,
+    threshold: int,
+    bitruss_cap: int = 30,
+) -> Dict[str, Optional[BipartiteGraph]]:
+    """Run every community model for α = β = ``threshold`` around the query user.
+
+    Returns a model-name -> community mapping; a model that has no answer for
+    this query (e.g. the query vertex falls outside the k-bitruss) maps to
+    ``None``, mirroring how the paper reports only non-empty communities.
+    """
+    query = data.query
+    communities: Dict[str, Optional[BipartiteGraph]] = {}
+
+    try:
+        core_community = index.community(query, threshold, threshold)
+    except EmptyCommunityError:
+        core_community = None
+    communities["(a,b)-core"] = core_community
+
+    if core_community is not None:
+        communities["SC"] = scs_peel(core_community, query, threshold, threshold)
+    else:
+        communities["SC"] = None
+
+    try:
+        # The paper sets k = alpha * beta for the bitruss comparison; that is
+        # far beyond reach at reproduction scale, so we cap k to keep the
+        # decomposition tractable while preserving "a much denser requirement".
+        k = min(threshold * threshold, bitruss_cap)
+        communities["bitruss"] = bitruss_community(comedy, query, k)
+    except ReproError:
+        communities["bitruss"] = None
+
+    try:
+        pair = greedy_biclique(
+            comedy, query, min_upper=max(2, threshold // 2), min_lower=max(2, threshold // 2)
+        )
+        communities["biclique"] = biclique_subgraph(comedy, pair)
+    except ReproError:
+        communities["biclique"] = None
+
+    try:
+        communities["C4*"] = threshold_community(comedy, query, 4.0)
+    except ReproError:
+        communities["C4*"] = None
+    return communities
+
+
+def run(
+    fractions: Sequence[float] = (0.5, 0.6, 0.7),
+    seed: int = 7,
+    **_: object,
+) -> ExperimentResult:
+    """Regenerate both panels of Figure 6."""
+    data = build_effectiveness_dataset(seed=seed)
+    comedy = genre_subgraph(data, "comedy")
+    index = DegeneracyIndex(comedy)
+    delta = index.delta
+
+    rows = []
+    for fraction in fractions:
+        threshold = max(2, int(round(delta * fraction)))
+        communities = communities_for_threshold(comedy, index, data, threshold)
+        for model, community in communities.items():
+            if community is None or community.num_edges == 0:
+                rows.append(
+                    {"t": threshold, "model": model, "density": None,
+                     "avg_rating": None, "dislike_pct": None, "|E|": 0}
+                )
+                continue
+            rows.append(
+                {
+                    "t": threshold,
+                    "model": model,
+                    "density": round(bipartite_density(community), 2),
+                    "avg_rating": round(average_weight(community), 2),
+                    "dislike_pct": round(
+                        100.0 * dislike_user_fraction(community, threshold), 1
+                    ),
+                    "|E|": community.num_edges,
+                }
+            )
+    return ExperimentResult(
+        experiment="fig6",
+        title="Community quality on the user-movie network (Figure 6)",
+        rows=rows,
+        parameters={"fractions": list(fractions), "delta": delta, "seed": seed},
+        paper_claim=(
+            "Structure-aware models (SC, core, bitruss, biclique) are far denser than "
+            "C4*; SC has the highest average rating and the fewest dislike users."
+        ),
+        notes=(
+            "t is expressed as a fraction of the comedy subgraph's degeneracy; "
+            "the bitruss k is capped to stay tractable in pure Python."
+        ),
+    )

@@ -1,0 +1,75 @@
+"""Figure 8 — (α,β)-community retrieval time of Qo, Qv and Qopt on all datasets.
+
+The paper sets α = β = 0.7·δ, samples random query vertices and reports the
+average retrieval time per algorithm and dataset: Qopt (the degeneracy-bounded
+index) is one to two orders of magnitude faster than the online algorithm Qo
+and up to 20x faster than the bicore-index query Qv.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.workloads import sample_core_queries, threshold_from_fraction, time_callable
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.index.bicore_index import BicoreIndex
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.index.queries import online_community_query
+
+__all__ = ["run"]
+
+DEFAULT_FRACTION = 0.7
+
+
+def run(
+    scale: float = 1.0,
+    datasets: Optional[Sequence[str]] = None,
+    fraction: float = DEFAULT_FRACTION,
+    queries: int = 20,
+    seed: int = 0,
+    **_: object,
+) -> ExperimentResult:
+    """Regenerate Figure 8 (average retrieval time per dataset and algorithm)."""
+    names = list(datasets) if datasets else dataset_names()
+    rows = []
+    for name in names:
+        graph = load_dataset(name, scale=scale)
+        opt_index = DegeneracyIndex(graph)
+        bicore_index = BicoreIndex(graph)
+        alpha = beta = threshold_from_fraction(opt_index.delta, fraction)
+        sampled = sample_core_queries(opt_index, alpha, beta, queries, seed=seed)
+        if not sampled:
+            rows.append({"dataset": name, "alpha": alpha, "beta": beta,
+                         "queries": 0, "Qo_s": None, "Qv_s": None, "Qopt_s": None,
+                         "speedup_vs_Qo": None})
+            continue
+        qo_total = qv_total = qopt_total = 0.0
+        for query in sampled:
+            qo_total += time_callable(lambda: online_community_query(graph, query, alpha, beta))
+            qv_total += time_callable(lambda: bicore_index.community(query, alpha, beta))
+            qopt_total += time_callable(lambda: opt_index.community(query, alpha, beta))
+        count = len(sampled)
+        qo, qv, qopt = qo_total / count, qv_total / count, qopt_total / count
+        rows.append(
+            {
+                "dataset": name,
+                "alpha": alpha,
+                "beta": beta,
+                "queries": count,
+                "Qo_s": round(qo, 6),
+                "Qv_s": round(qv, 6),
+                "Qopt_s": round(qopt, 6),
+                "speedup_vs_Qo": round(qo / qopt, 1) if qopt > 0 else None,
+            }
+        )
+    return ExperimentResult(
+        experiment="fig8",
+        title="Retrieving the (α,β)-community: Qo vs Qv vs Qopt (Figure 8)",
+        rows=rows,
+        parameters={"scale": scale, "fraction": fraction, "queries": queries, "seed": seed},
+        paper_claim=(
+            "Qopt significantly outperforms Qo and Qv on every dataset "
+            "(up to two orders of magnitude over Qo, up to 20x over Qv)."
+        ),
+    )

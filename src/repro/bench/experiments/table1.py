@@ -1,0 +1,62 @@
+"""Table I — summary statistics of every dataset.
+
+The paper's Table I lists, per dataset, the edge count, the two layer sizes,
+the degeneracy δ, the maximal α / β for which an (α,1)- / (1,β)-core exists
+and the size of the (δ,δ)-core.  We report the same columns for the scaled
+synthetic stand-ins together with the original statistics for reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.harness import ExperimentResult
+from repro.datasets.registry import dataset_names, get_spec, load_dataset
+from repro.decomposition.abcore import abcore_subgraph
+from repro.decomposition.degeneracy import degeneracy
+from repro.decomposition.offsets import max_alpha, max_beta
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = 1.0,
+    datasets: Optional[Sequence[str]] = None,
+    **_: object,
+) -> ExperimentResult:
+    """Regenerate Table I for the synthetic dataset registry."""
+    names = list(datasets) if datasets else dataset_names()
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = load_dataset(name, scale=scale)
+        delta = degeneracy(graph)
+        core = abcore_subgraph(graph, delta, delta) if delta else None
+        rows.append(
+            {
+                "dataset": name,
+                "|E|": graph.num_edges,
+                "|U|": graph.num_upper,
+                "|L|": graph.num_lower,
+                "delta": delta,
+                "alpha_max": max_alpha(graph),
+                "beta_max": max_beta(graph),
+                "|R_dd|": core.num_edges if core else 0,
+                "paper_|E|": spec.paper_reference.get("|E|"),
+                "paper_delta": spec.paper_reference.get("delta"),
+            }
+        )
+    return ExperimentResult(
+        experiment="table1",
+        title="Dataset summary (Table I)",
+        rows=rows,
+        parameters={"scale": scale},
+        paper_claim=(
+            "11 datasets spanning 433K to 137M edges; the degeneracy delta is far "
+            "smaller than alpha_max/beta_max, and |R_dd| is far smaller than |E|."
+        ),
+        notes=(
+            "Synthetic stand-ins at laptop scale; the qualitative relations "
+            "(delta << alpha_max, |R_dd| << |E|) carry over."
+        ),
+    )

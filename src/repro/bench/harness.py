@@ -1,0 +1,92 @@
+"""Experiment result container and runner."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.bench.reporting import format_table
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment: tabular rows plus free-form notes.
+
+    ``rows`` is a list of dictionaries sharing the same keys — one row per
+    data point of the paper's table / per bar or curve point of the figure.
+    ``paper_claim`` states, in one or two sentences, what qualitative result
+    the original paper reports so that EXPERIMENTS.md can juxtapose the two.
+    """
+
+    experiment: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    paper_claim: str = ""
+    notes: str = ""
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def columns(self) -> List[str]:
+        columns: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def to_text(self) -> str:
+        """Render the result as an aligned text table with a header block."""
+        lines = [f"== {self.experiment}: {self.title} =="]
+        if self.parameters:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items()))
+            lines.append(f"parameters: {rendered}")
+        if self.paper_claim:
+            lines.append(f"paper: {self.paper_claim}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        lines.append(format_table(self.rows, self.columns()))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "parameters": self.parameters,
+            "paper_claim": self.paper_claim,
+            "notes": self.notes,
+            "rows": self.rows,
+        }
+
+    def save(self, directory: PathLike) -> Path:
+        """Write the result as JSON (plus a text rendering) into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        json_path = directory / f"{self.experiment}.json"
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True, default=str)
+        text_path = directory / f"{self.experiment}.txt"
+        text_path.write_text(self.to_text() + "\n", encoding="utf-8")
+        return json_path
+
+    def column_values(self, column: str) -> List[Any]:
+        return [row.get(column) for row in self.rows]
+
+
+def run_experiment(
+    name: str,
+    output_dir: Optional[PathLike] = None,
+    **kwargs: Any,
+) -> ExperimentResult:
+    """Run a registered experiment by name, optionally persisting the result."""
+    from repro.bench.registry import get_experiment
+
+    function = get_experiment(name)
+    result = function(**kwargs)
+    if output_dir is not None:
+        result.save(output_dir)
+    return result

@@ -1,0 +1,91 @@
+"""Registry mapping experiment names to their implementations."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bench.harness import ExperimentResult
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["EXPERIMENTS", "experiment_names", "get_experiment"]
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+
+def _load() -> Dict[str, ExperimentFn]:
+    # Imported lazily to keep `import repro` light.
+    from repro.bench.experiments import (
+        ablations,
+        fig6,
+        fig8,
+        fig9,
+        fig10,
+        fig11,
+        fig12,
+        fig13,
+        table1,
+        table2,
+        table3,
+    )
+
+    return {
+        "table1": table1.run,
+        "fig6": fig6.run,
+        "table2": table2.run,
+        "fig8": fig8.run,
+        "fig9": fig9.run,
+        "fig10": fig10.run,
+        "fig11": fig11.run,
+        "fig12": fig12.run,
+        "fig13": fig13.run,
+        "table3": table3.run,
+        "ablation_epsilon": ablations.run_epsilon,
+        "ablation_binary": ablations.run_binary,
+        "ablation_maintenance": ablations.run_maintenance,
+    }
+
+
+class _LazyRegistry(dict):
+    """Dictionary that populates itself from the experiment modules on first use."""
+
+    def _ensure(self) -> None:
+        if not dict.__len__(self):
+            super().update(_load())
+
+    def __getitem__(self, key: str) -> ExperimentFn:  # type: ignore[override]
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __iter__(self):  # type: ignore[override]
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self) -> int:  # type: ignore[override]
+        self._ensure()
+        return super().__len__()
+
+    def keys(self):  # type: ignore[override]
+        self._ensure()
+        return super().keys()
+
+    def items(self):  # type: ignore[override]
+        self._ensure()
+        return super().items()
+
+
+EXPERIMENTS: Dict[str, ExperimentFn] = _LazyRegistry()
+
+
+def experiment_names() -> List[str]:
+    """Names of every registered experiment, in the paper's order."""
+    return list(EXPERIMENTS.keys())
+
+
+def get_experiment(name: str) -> ExperimentFn:
+    """Look up an experiment function by name."""
+    key = name.lower()
+    if key not in EXPERIMENTS.keys():
+        raise InvalidParameterError(
+            f"unknown experiment {name!r}; available: {', '.join(experiment_names())}"
+        )
+    return EXPERIMENTS[key]

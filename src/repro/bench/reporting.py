@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["format_cell", "format_table"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one table cell: compact floats, pass-through for everything else."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]], columns: Sequence[str]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return "(no rows)"
+    header = list(columns)
+    rendered: List[List[str]] = [header]
+    for row in rows:
+        rendered.append([format_cell(row.get(column)) for column in header])
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(header))]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)).rstrip())
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Workload helpers shared by the experiments: query sampling and sweeps.
+
+The paper's efficiency experiments use two recurring patterns:
+
+* *random queries*: 100 query vertices sampled uniformly from the relevant
+  (α,β)-core, averaged (Figures 8, 12);
+* *threshold sweeps*: α and β set to ``c·δ`` for ``c ∈ {0.1, 0.3, 0.5, 0.7,
+  0.9}`` (Figures 9, 13).
+
+These helpers centralise that logic so every experiment samples identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.utils.timer import Timer
+
+__all__ = [
+    "SWEEP_FRACTIONS",
+    "threshold_from_fraction",
+    "sample_core_queries",
+    "time_callable",
+    "average_time",
+]
+
+#: The c values of the paper's sweeps (x axes of Figures 9 and 13).
+SWEEP_FRACTIONS: Tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def threshold_from_fraction(delta: int, fraction: float) -> int:
+    """``c·δ`` rounded to the nearest integer, never below 1."""
+    return max(1, round(delta * fraction))
+
+
+def sample_core_queries(
+    index: DegeneracyIndex,
+    alpha: int,
+    beta: int,
+    count: int,
+    seed: int = 0,
+) -> List[Vertex]:
+    """Sample up to ``count`` query vertices uniformly from the (α,β)-core."""
+    candidates = index.vertices_in_core(alpha, beta)
+    if not candidates:
+        return []
+    rng = random.Random(seed)
+    if len(candidates) <= count:
+        return list(candidates)
+    return rng.sample(list(candidates), count)
+
+
+def time_callable(function: Callable[[], object]) -> float:
+    """Wall-clock seconds of one invocation of ``function``."""
+    with Timer() as timer:
+        function()
+    return timer.elapsed
+
+
+def average_time(functions: Sequence[Callable[[], object]]) -> float:
+    """Average wall-clock seconds over a sequence of zero-argument callables."""
+    if not functions:
+        return 0.0
+    return sum(time_callable(function) for function in functions) / len(functions)

@@ -1,0 +1,23 @@
+"""Dataset registry and synthetic dataset builders.
+
+The paper evaluates on 11 KONECT datasets of up to 137M edges.  Those cannot
+be redistributed or downloaded in this offline reproduction, so the registry
+exposes synthetic graphs whose *shape* (layer imbalance, degree skew, density,
+weight model) mirrors each of the originals at a laptop-friendly scale — see
+``DESIGN.md`` for the substitution rationale.  Users with the real data can
+load it through :mod:`repro.graph.io` and run the identical pipeline.
+"""
+
+from repro.datasets.movielens import MovieLensData, movielens_like
+from repro.datasets.registry import DATASETS, DatasetSpec, dataset_names, load_dataset
+from repro.datasets.synthetic import build_synthetic_dataset
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "build_synthetic_dataset",
+    "MovieLensData",
+    "movielens_like",
+]

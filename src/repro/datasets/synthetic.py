@@ -1,0 +1,74 @@
+"""Building one synthetic dataset from a declarative specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import DatasetError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import power_law_bipartite
+from repro.graph.weights import apply_weights
+
+__all__ = ["DatasetSpec", "build_synthetic_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape parameters of one synthetic dataset.
+
+    The fields mirror what Table I of the paper reports per dataset: the layer
+    sizes and edge count (scaled down), the degree skew on each layer (which
+    drives δ, α_max and β_max), and the weight model used to label edges.
+    ``paper_reference`` records the statistics of the original KONECT dataset
+    so that reports can show the correspondence.
+    """
+
+    name: str
+    num_upper: int
+    num_lower: int
+    num_edges: int
+    exponent_upper: float = 0.9
+    exponent_lower: float = 0.9
+    weight_model: str = "UF"
+    seed: int = 7
+    description: str = ""
+    paper_reference: Dict[str, float] = field(default_factory=dict)
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """Return a copy with vertex and edge counts multiplied by ``scale``."""
+        if scale <= 0:
+            raise DatasetError("scale must be positive")
+        return DatasetSpec(
+            name=self.name,
+            num_upper=max(4, int(self.num_upper * scale)),
+            num_lower=max(4, int(self.num_lower * scale)),
+            num_edges=max(8, int(self.num_edges * scale)),
+            exponent_upper=self.exponent_upper,
+            exponent_lower=self.exponent_lower,
+            weight_model=self.weight_model,
+            seed=self.seed,
+            description=self.description,
+            paper_reference=self.paper_reference,
+        )
+
+
+def build_synthetic_dataset(spec: DatasetSpec, seed: Optional[int] = None) -> BipartiteGraph:
+    """Materialise the graph described by ``spec``.
+
+    The generator first lays down a skewed bipartite topology and then labels
+    the edges with the spec's weight model; the result is deterministic for a
+    fixed seed.
+    """
+    effective_seed = spec.seed if seed is None else seed
+    graph = power_law_bipartite(
+        spec.num_upper,
+        spec.num_lower,
+        spec.num_edges,
+        exponent_upper=spec.exponent_upper,
+        exponent_lower=spec.exponent_lower,
+        seed=effective_seed,
+        name=spec.name,
+    )
+    apply_weights(graph, spec.weight_model, seed=effective_seed + 1)
+    return graph

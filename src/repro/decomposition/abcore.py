@@ -1,0 +1,95 @@
+"""Peeling computation of the (α,β)-core (Definition 1).
+
+The (α,β)-core of a bipartite graph is the maximal subgraph in which every
+upper vertex has degree at least α and every lower vertex has degree at least
+β.  It is computed by iteratively removing violating vertices until a fixed
+point is reached — the classical peeling algorithm, linear in the graph size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.views import induced_subgraph
+from repro.utils.validation import check_thresholds
+
+__all__ = ["abcore_vertices", "abcore_subgraph", "peel_to_core", "degree_threshold"]
+
+
+def degree_threshold(side: Side, alpha: int, beta: int) -> int:
+    """The minimum degree required of a vertex on ``side`` in the (α,β)-core."""
+    return alpha if side is Side.UPPER else beta
+
+
+def peel_to_core(
+    degrees: Dict[Vertex, int],
+    neighbors: Dict[Vertex, Iterable[Vertex]],
+    alpha: int,
+    beta: int,
+    alive: Optional[Set[Vertex]] = None,
+) -> Set[Vertex]:
+    """Peel an adjacency snapshot down to the vertices of its (α,β)-core.
+
+    ``degrees`` is mutated in place (degrees of removed vertices become
+    meaningless).  ``neighbors`` maps every vertex to an iterable of its
+    neighbours (only pairs where both endpoints are alive are considered).
+    Returns the set of surviving vertices.
+    """
+    if alive is None:
+        alive = set(degrees)
+    queue: deque[Vertex] = deque(
+        v for v in alive if degrees[v] < degree_threshold(v.side, alpha, beta)
+    )
+    in_queue: Set[Vertex] = set(queue)
+    while queue:
+        vertex = queue.popleft()
+        in_queue.discard(vertex)
+        if vertex not in alive:
+            continue
+        alive.discard(vertex)
+        for nbr in neighbors[vertex]:
+            if nbr not in alive:
+                continue
+            degrees[nbr] -= 1
+            if (
+                degrees[nbr] < degree_threshold(nbr.side, alpha, beta)
+                and nbr not in in_queue
+            ):
+                queue.append(nbr)
+                in_queue.add(nbr)
+    return alive
+
+
+def _adjacency_snapshot(
+    graph: BipartiteGraph,
+) -> Tuple[Dict[Vertex, int], Dict[Vertex, Tuple[Vertex, ...]]]:
+    """Materialise degree and neighbour maps keyed by vertex handles."""
+    degrees: Dict[Vertex, int] = {}
+    neighbors: Dict[Vertex, Tuple[Vertex, ...]] = {}
+    for vertex in graph.vertices():
+        nbr_labels = graph.neighbors(vertex.side, vertex.label)
+        other = vertex.side.other
+        degrees[vertex] = len(nbr_labels)
+        neighbors[vertex] = tuple(Vertex(other, label) for label in nbr_labels)
+    return degrees, neighbors
+
+
+def abcore_vertices(graph: BipartiteGraph, alpha: int, beta: int) -> Set[Vertex]:
+    """Return the vertex set of the (α,β)-core of ``graph``."""
+    check_thresholds(alpha, beta)
+    degrees, neighbors = _adjacency_snapshot(graph)
+    return peel_to_core(degrees, neighbors, alpha, beta)
+
+
+def abcore_subgraph(graph: BipartiteGraph, alpha: int, beta: int) -> BipartiteGraph:
+    """Return the (α,β)-core of ``graph`` as a new graph.
+
+    The result can be empty (no vertices) when no subgraph satisfies the
+    thresholds.
+    """
+    survivors = abcore_vertices(graph, alpha, beta)
+    core = induced_subgraph(graph, survivors)
+    core.name = f"{graph.name}:core({alpha},{beta})" if graph.name else f"core({alpha},{beta})"
+    return core

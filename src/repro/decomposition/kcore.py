@@ -1,0 +1,65 @@
+"""Unipartite k-core decomposition (bin-sort peeling).
+
+The paper computes the degeneracy δ of a bipartite graph with "the k-core
+decomposition algorithm" because the (δ,δ)-core is exactly the δ-core of the
+graph viewed as an ordinary (unipartite) graph, and δ therefore equals the
+maximum core number.  This module implements the classical O(n + m) bin-sort
+core decomposition of Batagelj & Zaveršnik / Khaouid et al.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.bipartite import BipartiteGraph, Vertex
+
+__all__ = ["core_numbers", "max_core_number"]
+
+
+def core_numbers(graph: BipartiteGraph) -> Dict[Vertex, int]:
+    """Return the (unipartite) core number of every vertex of ``graph``."""
+    degrees: Dict[Vertex, int] = {v: graph.degree_of(v) for v in graph.vertices()}
+    if not degrees:
+        return {}
+
+    max_degree = max(degrees.values())
+    # bins[d] holds the vertices whose *current* position corresponds to degree d.
+    bins: List[List[Vertex]] = [[] for _ in range(max_degree + 1)]
+    for vertex, degree in degrees.items():
+        bins[degree].append(vertex)
+
+    core: Dict[Vertex, int] = {}
+    current_degree: Dict[Vertex, int] = dict(degrees)
+    processed: set[Vertex] = set()
+    level = 0
+    for degree in range(max_degree + 1):
+        bucket = bins[degree]
+        index = 0
+        while index < len(bucket):
+            vertex = bucket[index]
+            index += 1
+            if vertex in processed:
+                continue
+            if current_degree[vertex] > degree:
+                # Stale entry: the vertex was re-binned to a lower degree earlier
+                # or will be processed at its true degree later.
+                continue
+            level = max(level, degree)
+            core[vertex] = level
+            processed.add(vertex)
+            other = vertex.side.other
+            for nbr_label in graph.neighbors(vertex.side, vertex.label):
+                nbr = Vertex(other, nbr_label)
+                if nbr in processed:
+                    continue
+                if current_degree[nbr] > degree:
+                    current_degree[nbr] -= 1
+                    target = max(current_degree[nbr], degree)
+                    bins[target].append(nbr)
+    return core
+
+
+def max_core_number(graph: BipartiteGraph) -> int:
+    """Return the maximum core number (0 for an empty graph)."""
+    numbers = core_numbers(graph)
+    return max(numbers.values()) if numbers else 0

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems in a bipartite graph."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when a vertex referenced by an operation does not exist."""
+
+    def __init__(self, side: object, label: object) -> None:
+        super().__init__(f"vertex {label!r} does not exist on the {side} side")
+        self.side = side
+        self.label = label
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an edge referenced by an operation does not exist."""
+
+    def __init__(self, upper: object, lower: object) -> None:
+        super().__init__(f"edge ({upper!r}, {lower!r}) does not exist")
+        self.upper = upper
+        self.lower = lower
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when a query or construction parameter is invalid."""
+
+
+class EmptyCommunityError(ReproError):
+    """Raised when a query vertex is not contained in the requested core.
+
+    The paper defines the significant (alpha, beta)-community only for query
+    vertices that belong to the (alpha, beta)-core; this error signals that the
+    query has no answer for the supplied parameters.
+    """
+
+    def __init__(self, query: object, alpha: int, beta: int) -> None:
+        super().__init__(
+            f"query vertex {query!r} is not contained in the "
+            f"({alpha}, {beta})-core; no community exists"
+        )
+        self.query = query
+        self.alpha = alpha
+        self.beta = beta
+
+
+class IndexConsistencyError(ReproError):
+    """Raised when an index is used against a graph it does not describe."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated or parsed."""

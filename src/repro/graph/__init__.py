@@ -1,0 +1,34 @@
+"""Weighted bipartite graph substrate.
+
+This subpackage provides the data structure and helpers that every other part
+of the library builds on:
+
+* :class:`~repro.graph.bipartite.BipartiteGraph` — the mutable, weighted
+  bipartite graph used by all algorithms.
+* :mod:`~repro.graph.views` — subgraph extraction and connectivity helpers.
+* :mod:`~repro.graph.generators` — synthetic graph generators.
+* :mod:`~repro.graph.weights` — edge-weight models (AE / UF / SK / RW).
+* :mod:`~repro.graph.rwr` — random walk with restart used to derive weights
+  for unweighted datasets, as in the paper.
+* :mod:`~repro.graph.io` — KONECT-style edge-list readers and writers.
+"""
+
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex, lower, upper
+from repro.graph.views import (
+    connected_component,
+    connected_components,
+    edge_subgraph,
+    induced_subgraph,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "Side",
+    "Vertex",
+    "upper",
+    "lower",
+    "connected_component",
+    "connected_components",
+    "edge_subgraph",
+    "induced_subgraph",
+]

@@ -1,0 +1,282 @@
+"""Synthetic bipartite graph generators.
+
+The paper evaluates on 11 large KONECT datasets that we cannot download in an
+offline environment, so the dataset registry (:mod:`repro.datasets.registry`)
+builds scaled-down synthetic graphs with comparable *shape*: skewed degree
+distributions, asymmetric layer sizes and dense cores.  The generators here
+are the raw building blocks:
+
+* :func:`random_bipartite` — Erdos-Renyi style G(n_u, n_l, p or m).
+* :func:`power_law_bipartite` — configuration-model style graph with Zipfian
+  degree distributions on both layers (the typical shape of user-item data).
+* :func:`planted_community_graph` — a dense planted block embedded in a sparse
+  noisy background, used by the effectiveness experiments (Fig. 6, Table II).
+* :func:`paper_example_graph` — the exact graph of Figure 2 of the paper,
+  handy for unit tests and the quickstart example.
+* :func:`star_heavy_graph` — graph with a few very high degree hubs, the case
+  that makes the basic indexes blow up (Section III-B motivation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = [
+    "random_bipartite",
+    "power_law_bipartite",
+    "planted_community_graph",
+    "paper_example_graph",
+    "star_heavy_graph",
+    "complete_bipartite",
+]
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def complete_bipartite(
+    num_upper: int,
+    num_lower: int,
+    weight: float = 1.0,
+    upper_prefix: str = "u",
+    lower_prefix: str = "v",
+) -> BipartiteGraph:
+    """Return the complete bipartite graph ``K_{num_upper, num_lower}``."""
+    graph = BipartiteGraph(name=f"K_{num_upper}_{num_lower}")
+    for i in range(num_upper):
+        for j in range(num_lower):
+            graph.add_edge(f"{upper_prefix}{i}", f"{lower_prefix}{j}", weight)
+    return graph
+
+
+def random_bipartite(
+    num_upper: int,
+    num_lower: int,
+    num_edges: int,
+    seed: Optional[int] = None,
+    upper_prefix: str = "u",
+    lower_prefix: str = "v",
+) -> BipartiteGraph:
+    """Return a uniform random bipartite graph with ``num_edges`` distinct edges."""
+    if num_edges > num_upper * num_lower:
+        raise InvalidParameterError(
+            f"cannot place {num_edges} edges in a {num_upper}x{num_lower} bipartite graph"
+        )
+    rng = _rng(seed)
+    graph = BipartiteGraph(name="random")
+    chosen: set[Tuple[int, int]] = set()
+    while len(chosen) < num_edges:
+        pair = (rng.randrange(num_upper), rng.randrange(num_lower))
+        if pair in chosen:
+            continue
+        chosen.add(pair)
+        graph.add_edge(f"{upper_prefix}{pair[0]}", f"{lower_prefix}{pair[1]}", 1.0)
+    return graph
+
+
+def _zipf_degrees(count: int, total: int, exponent: float, rng: random.Random) -> List[int]:
+    """Draw ``count`` degrees summing approximately to ``total`` from a Zipf shape."""
+    raw = [1.0 / (i + 1) ** exponent for i in range(count)]
+    scale = total / sum(raw)
+    degrees = [max(1, int(round(value * scale))) for value in raw]
+    # Adjust the head so the total matches exactly; keep every degree >= 1.
+    diff = total - sum(degrees)
+    index = 0
+    while diff != 0 and count:
+        step = 1 if diff > 0 else -1
+        if degrees[index % count] + step >= 1:
+            degrees[index % count] += step
+            diff -= step
+        index += 1
+    rng.shuffle(degrees)
+    return degrees
+
+
+def power_law_bipartite(
+    num_upper: int,
+    num_lower: int,
+    num_edges: int,
+    exponent_upper: float = 1.0,
+    exponent_lower: float = 1.0,
+    seed: Optional[int] = None,
+    upper_prefix: str = "u",
+    lower_prefix: str = "v",
+    name: str = "power-law",
+) -> BipartiteGraph:
+    """Configuration-model style generator with Zipfian degree sequences.
+
+    Multi-edges produced by the stub matching are collapsed and then
+    compensated for by degree-biased rejection sampling, so the final edge
+    count matches ``num_edges`` whenever the requested density allows it (and
+    falls slightly short only on extremely dense parameterisations).
+    """
+    if num_upper < 1 or num_lower < 1 or num_edges < 1:
+        raise InvalidParameterError("graph dimensions must be positive")
+    if num_edges > num_upper * num_lower:
+        raise InvalidParameterError(
+            f"cannot place {num_edges} distinct edges in a "
+            f"{num_upper}x{num_lower} bipartite graph"
+        )
+    rng = _rng(seed)
+    upper_degrees = _zipf_degrees(num_upper, num_edges, exponent_upper, rng)
+    lower_degrees = _zipf_degrees(num_lower, num_edges, exponent_lower, rng)
+
+    upper_stubs: List[int] = []
+    for index, degree in enumerate(upper_degrees):
+        upper_stubs.extend([index] * degree)
+    lower_stubs: List[int] = []
+    for index, degree in enumerate(lower_degrees):
+        lower_stubs.extend([index] * degree)
+    rng.shuffle(upper_stubs)
+    rng.shuffle(lower_stubs)
+
+    graph = BipartiteGraph(name=name)
+    for u, v in zip(upper_stubs, lower_stubs):
+        graph.add_edge(f"{upper_prefix}{u}", f"{lower_prefix}{v}", 1.0)
+
+    # Stub matching collapses multi-edges; top the graph back up to the target
+    # count by sampling endpoints proportionally to the degree sequences.
+    attempts = 0
+    max_attempts = 30 * num_edges
+    while graph.num_edges < num_edges and attempts < max_attempts:
+        attempts += 1
+        u = upper_stubs[rng.randrange(len(upper_stubs))]
+        v = lower_stubs[rng.randrange(len(lower_stubs))]
+        u_label, v_label = f"{upper_prefix}{u}", f"{lower_prefix}{v}"
+        if not graph.has_edge(u_label, v_label):
+            graph.add_edge(u_label, v_label, 1.0)
+    return graph
+
+
+def planted_community_graph(
+    community_upper: int,
+    community_lower: int,
+    background_upper: int,
+    background_lower: int,
+    background_edges: int,
+    community_density: float = 0.9,
+    bridge_edges: int = 10,
+    seed: Optional[int] = None,
+    name: str = "planted",
+) -> Tuple[BipartiteGraph, List[Hashable], List[Hashable]]:
+    """Embed a dense community inside a sparse background graph.
+
+    Returns the graph plus the labels of the planted upper / lower vertices so
+    the effectiveness experiments can measure precision-style statistics.
+    Planted vertices are named ``cu*`` / ``cv*``; background vertices ``bu*`` /
+    ``bv*``.  ``bridge_edges`` random edges connect the two regions so the
+    graph has a single giant component.
+    """
+    rng = _rng(seed)
+    graph = BipartiteGraph(name=name)
+    planted_upper = [f"cu{i}" for i in range(community_upper)]
+    planted_lower = [f"cv{j}" for j in range(community_lower)]
+
+    for i, u in enumerate(planted_upper):
+        for j, v in enumerate(planted_lower):
+            if rng.random() <= community_density:
+                graph.add_edge(u, v, 1.0)
+    # Guarantee each planted vertex has at least one edge.
+    for i, u in enumerate(planted_upper):
+        if not graph.has_vertex(*_upper_key(u)) or graph.degree(*_upper_key(u)) == 0:
+            graph.add_edge(u, planted_lower[i % community_lower], 1.0)
+    for j, v in enumerate(planted_lower):
+        if not graph.has_vertex(*_lower_key(v)) or graph.degree(*_lower_key(v)) == 0:
+            graph.add_edge(planted_upper[j % community_upper], v, 1.0)
+
+    background = power_law_bipartite(
+        background_upper,
+        background_lower,
+        background_edges,
+        seed=None if seed is None else seed + 1,
+        upper_prefix="bu",
+        lower_prefix="bv",
+    )
+    for u, v, w in background.edges():
+        graph.add_edge(u, v, w)
+
+    background_upper_labels = [f"bu{i}" for i in range(background_upper)]
+    background_lower_labels = [f"bv{j}" for j in range(background_lower)]
+    for _ in range(bridge_edges):
+        u = rng.choice(background_upper_labels)
+        v = rng.choice(planted_lower)
+        graph.add_edge(u, v, 1.0)
+        u2 = rng.choice(planted_upper)
+        v2 = rng.choice(background_lower_labels)
+        graph.add_edge(u2, v2, 1.0)
+    return graph, planted_upper, planted_lower
+
+
+def _upper_key(label: Hashable):
+    from repro.graph.bipartite import Side
+
+    return Side.UPPER, label
+
+
+def _lower_key(label: Hashable):
+    from repro.graph.bipartite import Side
+
+    return Side.LOWER, label
+
+
+def paper_example_graph() -> BipartiteGraph:
+    """The running example of Figure 2: 999 upper / 999 lower vertices.
+
+    Edges: ``u1`` is adjacent to every lower vertex; ``v1`` is adjacent to every
+    upper vertex; additionally ``u2, u3, u4`` each connect to ``v1..v4`` so that
+    a small dense block exists.  Edge weights follow the figure's rule
+    ``w(u, v) = 5 * u.id - v.id``.
+
+    The graph has 2,003 edges, its (2,2)-community of ``u3`` is the block on
+    ``{u1..u4} x {v1..v4}`` and the significant (2,2)-community of ``u3`` is the
+    2x2 block ``{u3, u4} x {v1, v2}``.
+    """
+    graph = BipartiteGraph(name="paper-example")
+
+    def weight(u_id: int, v_id: int) -> float:
+        return float(5 * u_id - v_id)
+
+    # u1 connects to every lower vertex v1..v999.
+    for v_id in range(1, 1000):
+        graph.add_edge("u1", f"v{v_id}", weight(1, v_id))
+    # v1 connects to every upper vertex u1..u999.
+    for u_id in range(1, 1000):
+        graph.add_edge(f"u{u_id}", "v1", weight(u_id, 1))
+    # The dense block: u2, u3, u4 each connect to v1..v4.
+    for u_id in (2, 3, 4):
+        for v_id in range(1, 5):
+            graph.add_edge(f"u{u_id}", f"v{v_id}", weight(u_id, v_id))
+    return graph
+
+
+def star_heavy_graph(
+    hub_degree: int,
+    num_blocks: int,
+    block_size: int = 3,
+    seed: Optional[int] = None,
+) -> BipartiteGraph:
+    """A graph with two high-degree hubs plus small dense blocks.
+
+    This is the adversarial shape for the basic indexes ``I_bs`` (Section
+    III-B): the hub forces alpha_max (resp. beta_max) to be huge while the
+    degeneracy stays tiny, so ``I_delta`` is far smaller.
+    """
+    rng = _rng(seed)
+    graph = BipartiteGraph(name="star-heavy")
+    for i in range(hub_degree):
+        graph.add_edge("hub_u", f"leaf_v{i}", 1.0)
+        graph.add_edge(f"leaf_u{i}", "hub_v", 1.0)
+    for b in range(num_blocks):
+        for i in range(block_size):
+            for j in range(block_size):
+                weight = 1.0 + rng.random()
+                graph.add_edge(f"b{b}_u{i}", f"b{b}_v{j}", weight)
+        # Tie each block to the hub so everything is one component.
+        graph.add_edge("hub_u", f"b{b}_v0", 1.0)
+        graph.add_edge(f"b{b}_u0", "hub_v", 1.0)
+    return graph

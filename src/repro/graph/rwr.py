@@ -1,0 +1,112 @@
+"""Random walk with restart (RWR) on bipartite graphs.
+
+The paper derives edge weights for the unweighted datasets (``DT`` and ``PA``)
+from node relevance scores computed with the random walk with restart model of
+Tong et al. (ICDM 2006).  This module implements that substrate: a power
+iteration computing, for a restart vertex ``q``, the stationary probability of
+a walk that at each step either restarts at ``q`` (with probability
+``restart_prob``) or moves to a uniformly random neighbour.
+
+:func:`rwr_scores` returns the score vector for one restart vertex and
+:func:`rwr_edge_weights` turns scores into edge weights (the paper uses node
+relevance between the two endpoints; we use the symmetric combination
+``score(u) + score(v)`` rescaled to a target range).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+
+__all__ = ["rwr_scores", "rwr_edge_weights"]
+
+
+def rwr_scores(
+    graph: BipartiteGraph,
+    restart: Vertex,
+    restart_prob: float = 0.15,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> Dict[Vertex, float]:
+    """Compute random-walk-with-restart scores for every vertex.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph to walk on.
+    restart:
+        The restart vertex ``q``.
+    restart_prob:
+        Probability of teleporting back to ``q`` at each step (``c`` in the
+        original paper); must lie in ``(0, 1)``.
+    max_iterations, tolerance:
+        Power iteration stops when the L1 change drops below ``tolerance`` or
+        after ``max_iterations`` rounds.
+    """
+    if not 0.0 < restart_prob < 1.0:
+        raise InvalidParameterError("restart_prob must lie strictly between 0 and 1")
+    if not graph.has_vertex(restart.side, restart.label):
+        raise InvalidParameterError(f"restart vertex {restart!r} is not in the graph")
+
+    scores: Dict[Vertex, float] = {vertex: 0.0 for vertex in graph.vertices()}
+    scores[restart] = 1.0
+
+    for _ in range(max_iterations):
+        updated: Dict[Vertex, float] = {vertex: 0.0 for vertex in scores}
+        for vertex, mass in scores.items():
+            if mass == 0.0:
+                continue
+            degree = graph.degree(vertex.side, vertex.label)
+            if degree == 0:
+                # Dangling mass teleports home.
+                updated[restart] += (1.0 - restart_prob) * mass
+                continue
+            share = (1.0 - restart_prob) * mass / degree
+            other = vertex.side.other
+            for nbr in graph.neighbors(vertex.side, vertex.label):
+                updated[Vertex(other, nbr)] += share
+        updated[restart] += restart_prob
+        delta = sum(abs(updated[v] - scores[v]) for v in scores)
+        scores = updated
+        if delta < tolerance:
+            break
+    return scores
+
+
+def rwr_edge_weights(
+    graph: BipartiteGraph,
+    restart: Optional[Vertex] = None,
+    restart_prob: float = 0.15,
+    weight_range: Tuple[float, float] = (1.0, 5.0),
+    max_iterations: int = 50,
+) -> Dict[Tuple[Hashable, Hashable], float]:
+    """Derive an edge-weight map from RWR relevance scores.
+
+    If ``restart`` is omitted the highest-degree upper vertex is used, which
+    mirrors the paper's use of a representative seed for weight generation.
+    Each edge ``(u, v)`` receives ``score(u) + score(v)``, linearly rescaled to
+    ``weight_range``.
+    """
+    if graph.is_empty():
+        return {}
+    if restart is None:
+        hub = max(graph.upper_labels(), key=lambda label: graph.degree(Side.UPPER, label))
+        restart = Vertex(Side.UPPER, hub)
+    scores = rwr_scores(
+        graph, restart, restart_prob=restart_prob, max_iterations=max_iterations
+    )
+    raw: Dict[Tuple[Hashable, Hashable], float] = {}
+    for u, v, _ in graph.edges():
+        raw[(u, v)] = scores[Vertex(Side.UPPER, u)] + scores[Vertex(Side.LOWER, v)]
+    low, high = min(raw.values()), max(raw.values())
+    target_low, target_high = weight_range
+    span = high - low
+    weights: Dict[Tuple[Hashable, Hashable], float] = {}
+    for edge, value in raw.items():
+        if span == 0.0:
+            weights[edge] = (target_low + target_high) / 2.0
+        else:
+            weights[edge] = target_low + (value - low) / span * (target_high - target_low)
+    return weights

@@ -1,0 +1,92 @@
+"""Subgraph extraction and connectivity helpers.
+
+These free functions build *new* :class:`~repro.graph.bipartite.BipartiteGraph`
+objects from an existing one: induced subgraphs, edge subgraphs, connected
+components and weight-threshold subgraphs.  They are the building blocks of
+the online (index-free) query algorithms and of the search algorithms in
+:mod:`repro.search`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+
+__all__ = [
+    "induced_subgraph",
+    "edge_subgraph",
+    "connected_component",
+    "connected_components",
+    "component_containing",
+    "weight_threshold_subgraph",
+]
+
+
+def induced_subgraph(graph: BipartiteGraph, vertices: Iterable[Vertex]) -> BipartiteGraph:
+    """Return the subgraph induced by ``vertices`` (edges with both ends inside)."""
+    wanted: Set[Vertex] = set(vertices)
+    upper_wanted = {v.label for v in wanted if v.side is Side.UPPER}
+    lower_wanted = {v.label for v in wanted if v.side is Side.LOWER}
+    result = BipartiteGraph(name=graph.name)
+    for label in upper_wanted:
+        if graph.has_vertex(Side.UPPER, label):
+            result.add_vertex(Side.UPPER, label)
+    for label in lower_wanted:
+        if graph.has_vertex(Side.LOWER, label):
+            result.add_vertex(Side.LOWER, label)
+    for label in upper_wanted:
+        if not graph.has_vertex(Side.UPPER, label):
+            continue
+        for nbr, weight in graph.neighbors(Side.UPPER, label).items():
+            if nbr in lower_wanted:
+                result.add_edge(label, nbr, weight)
+    return result
+
+
+def edge_subgraph(
+    graph: BipartiteGraph,
+    edges: Iterable[Tuple[Hashable, Hashable]],
+    name: str = "",
+) -> BipartiteGraph:
+    """Return the subgraph formed by the given ``(upper, lower)`` edges.
+
+    Edge weights are copied from ``graph``.
+    """
+    result = BipartiteGraph(name=name or graph.name)
+    for u, v in edges:
+        result.add_edge(u, v, graph.weight(u, v))
+    return result
+
+
+def connected_component(graph: BipartiteGraph, start: Vertex) -> BipartiteGraph:
+    """Return the connected component of ``start`` as a new graph."""
+    vertices = graph.connected_component_vertices(start)
+    return induced_subgraph(graph, vertices)
+
+
+def component_containing(graph: BipartiteGraph, start: Vertex) -> Set[Vertex]:
+    """Return the vertex set of the component containing ``start``."""
+    return graph.connected_component_vertices(start)
+
+
+def connected_components(graph: BipartiteGraph) -> Iterator[Set[Vertex]]:
+    """Yield the vertex sets of all connected components of ``graph``."""
+    seen: Set[Vertex] = set()
+    for vertex in graph.vertices():
+        if vertex in seen:
+            continue
+        component = graph.connected_component_vertices(vertex)
+        seen.update(component)
+        yield component
+
+
+def weight_threshold_subgraph(graph: BipartiteGraph, threshold: float) -> BipartiteGraph:
+    """Return the subgraph formed by all edges with weight >= ``threshold``."""
+    result = BipartiteGraph(name=graph.name)
+    for u, v, w in graph.edges():
+        if w >= threshold:
+            result.add_edge(u, v, w)
+    return result

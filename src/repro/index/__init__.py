@@ -1,0 +1,29 @@
+"""Indexes for optimal retrieval of (α,β)-communities.
+
+* :mod:`~repro.index.queries` — the online, index-free query ``Qo``.
+* :mod:`~repro.index.bicore_index` — the vertex-level bicore index ``Iv`` and
+  its query ``Qv`` (the baseline of Liu et al., WWW 2019).
+* :mod:`~repro.index.basic_index` — the basic edge-level indexes ``Iα_bs`` /
+  ``Iβ_bs`` (Section III-A, Algorithms 1–2).
+* :mod:`~repro.index.degeneracy_index` — the degeneracy-bounded index ``I_δ``
+  and its optimal query ``Qopt`` (Section III-B, Algorithm 3).
+* :mod:`~repro.index.maintenance` — edge insertion / removal maintenance.
+* :mod:`~repro.index.serialization` — saving and loading built indexes.
+"""
+
+from repro.index.base import CommunityIndex, IndexStats
+from repro.index.basic_index import BasicIndex
+from repro.index.bicore_index import BicoreIndex
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.index.maintenance import DynamicDegeneracyIndex
+from repro.index.queries import online_community_query
+
+__all__ = [
+    "CommunityIndex",
+    "IndexStats",
+    "BicoreIndex",
+    "BasicIndex",
+    "DegeneracyIndex",
+    "DynamicDegeneracyIndex",
+    "online_community_query",
+]

@@ -1,0 +1,65 @@
+"""Shared interface and bookkeeping for the community-retrieval indexes."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.graph.bipartite import BipartiteGraph, Vertex
+
+__all__ = ["IndexStats", "CommunityIndex"]
+
+
+@dataclass
+class IndexStats:
+    """Size and build-time statistics reported by every index.
+
+    ``entries`` counts the atomic stored items (per-vertex offsets for the
+    bicore index, adjacency entries for the edge-level indexes); it is the
+    quantity Figure 11 of the paper compares across indexes.
+    """
+
+    name: str
+    entries: int = 0
+    adjacency_lists: int = 0
+    build_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        data: Dict[str, float] = {
+            "entries": self.entries,
+            "adjacency_lists": self.adjacency_lists,
+            "build_seconds": self.build_seconds,
+        }
+        data.update(self.extra)
+        return data
+
+
+class CommunityIndex(abc.ABC):
+    """Abstract base class of all (α,β)-community indexes.
+
+    Every index is built once for a graph and then answers
+    :meth:`community` queries: the connected component of a query vertex in
+    the (α,β)-core, returned as a weighted edge subgraph.
+    """
+
+    def __init__(self, graph: BipartiteGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> BipartiteGraph:
+        """The graph this index was built for."""
+        return self._graph
+
+    @abc.abstractmethod
+    def community(self, query: Vertex, alpha: int, beta: int) -> BipartiteGraph:
+        """Return ``C_{α,β}(query)``.
+
+        Raises :class:`~repro.exceptions.EmptyCommunityError` when the query
+        vertex is not contained in the (α,β)-core.
+        """
+
+    @abc.abstractmethod
+    def stats(self) -> IndexStats:
+        """Return size / build-time statistics for reporting."""

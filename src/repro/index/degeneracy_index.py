@@ -1,0 +1,157 @@
+"""The degeneracy-bounded index ``I_δ`` and its optimal query ``Qopt``.
+
+Section III-B of the paper: because every non-empty (α,β)-core has
+``min(α,β) ≤ δ`` (Lemma 4), it suffices to store adjacency lists for the
+levels τ = 1..δ on *both* sides:
+
+* ``Iα_δ[u][τ]`` — for every vertex ``u`` of the (τ,τ)-core, its neighbours
+  whose α-offset at level τ is at least τ, sorted by decreasing α-offset;
+* ``Iβ_δ[u][τ]`` — its neighbours whose β-offset at level τ is strictly larger
+  than τ, sorted by decreasing β-offset.
+
+A query with α ≤ β is answered from ``Iα_δ`` at level α with requirement β;
+a query with β < α from ``Iβ_δ`` at level β with requirement α.  Only entries
+belonging to the answer are touched, so retrieval is O(size(C_{α,β}(q))) —
+optimal.  Construction follows Algorithm 3 and costs O(δ·m); the index stores
+O(δ·m) entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.decomposition.degeneracy import degeneracy
+from repro.decomposition.offsets import alpha_offsets, beta_offsets
+from repro.exceptions import EmptyCommunityError
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.index.base import CommunityIndex, IndexStats
+from repro.index.traversal import AdjacencyLists, IndexEntry, bfs_over_lists
+from repro.utils.timer import Timer
+from repro.utils.validation import check_query_vertex, check_thresholds
+
+__all__ = ["DegeneracyIndex"]
+
+
+class DegeneracyIndex(CommunityIndex):
+    """The paper's ``I_δ`` index with optimal (α,β)-community retrieval."""
+
+    def __init__(self, graph: BipartiteGraph) -> None:
+        super().__init__(graph)
+        self._delta = 0
+        self._alpha_lists: Dict[int, AdjacencyLists] = {}
+        self._beta_lists: Dict[int, AdjacencyLists] = {}
+        self._alpha_offsets: Dict[int, Dict[Vertex, int]] = {}
+        self._beta_offsets: Dict[int, Dict[Vertex, int]] = {}
+        self._build_seconds = 0.0
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction (Algorithm 3)
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        with Timer() as timer:
+            self._delta = degeneracy(self._graph)
+            for tau in range(1, self._delta + 1):
+                self._build_level(tau)
+        self._build_seconds = timer.elapsed
+
+    def _build_level(self, tau: int) -> None:
+        """Compute the level-τ adjacency lists of both halves of the index."""
+        graph = self._graph
+        sa = alpha_offsets(graph, tau)
+        sb = beta_offsets(graph, tau)
+        self._alpha_offsets[tau] = sa
+        self._beta_offsets[tau] = sb
+
+        alpha_lists: AdjacencyLists = {}
+        beta_lists: AdjacencyLists = {}
+        for vertex, offset in sa.items():
+            # Membership in the (τ,τ)-core: the α-offset at level τ is >= τ.
+            if offset < tau:
+                continue
+            other = vertex.side.other
+            alpha_entries: List[IndexEntry] = []
+            beta_entries: List[IndexEntry] = []
+            for nbr_label, weight in graph.neighbors(vertex.side, vertex.label).items():
+                nbr = Vertex(other, nbr_label)
+                nbr_sa = sa[nbr]
+                if nbr_sa >= tau:
+                    alpha_entries.append((nbr, weight, nbr_sa))
+                nbr_sb = sb[nbr]
+                if nbr_sb > tau:
+                    beta_entries.append((nbr, weight, nbr_sb))
+            alpha_entries.sort(key=lambda entry: -entry[2])
+            beta_entries.sort(key=lambda entry: -entry[2])
+            alpha_lists[vertex] = alpha_entries
+            if beta_entries:
+                beta_lists[vertex] = beta_entries
+        self._alpha_lists[tau] = alpha_lists
+        self._beta_lists[tau] = beta_lists
+
+    # ------------------------------------------------------------------ #
+    # querying (Qopt)
+    # ------------------------------------------------------------------ #
+    @property
+    def delta(self) -> int:
+        """The degeneracy of the indexed graph."""
+        return self._delta
+
+    def _route(self, alpha: int, beta: int) -> Tuple[Dict[Vertex, int], AdjacencyLists, int]:
+        """Choose the index half, level and offset requirement for a query."""
+        if alpha <= beta:
+            return self._alpha_offsets[alpha], self._alpha_lists[alpha], beta
+        return self._beta_offsets[beta], self._beta_lists[beta], alpha
+
+    def contains(self, vertex: Vertex, alpha: int, beta: int) -> bool:
+        """True when ``vertex`` belongs to the (α,β)-core."""
+        check_thresholds(alpha, beta)
+        if min(alpha, beta) > self._delta:
+            return False
+        offsets, _, requirement = self._route(alpha, beta)
+        return offsets.get(vertex, 0) >= requirement
+
+    def community(self, query: Vertex, alpha: int, beta: int) -> BipartiteGraph:
+        """``Qopt``: optimal retrieval of ``C_{α,β}(query)``."""
+        check_thresholds(alpha, beta)
+        check_query_vertex(self._graph, query)
+        if min(alpha, beta) > self._delta:
+            raise EmptyCommunityError(query, alpha, beta)
+        offsets, lists, requirement = self._route(alpha, beta)
+        if offsets.get(query, 0) < requirement:
+            raise EmptyCommunityError(query, alpha, beta)
+        return bfs_over_lists(
+            lists,
+            query,
+            requirement,
+            name=f"C({alpha},{beta})[{query.label!r}]",
+        )
+
+    def vertices_in_core(self, alpha: int, beta: int) -> List[Vertex]:
+        """All vertices of the (α,β)-core (useful for sampling benchmark queries)."""
+        check_thresholds(alpha, beta)
+        if min(alpha, beta) > self._delta:
+            return []
+        offsets, _, requirement = self._route(alpha, beta)
+        return [vertex for vertex, offset in offsets.items() if offset >= requirement]
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> IndexStats:
+        entries = sum(
+            len(entry_list)
+            for level in self._alpha_lists.values()
+            for entry_list in level.values()
+        ) + sum(
+            len(entry_list)
+            for level in self._beta_lists.values()
+            for entry_list in level.values()
+        )
+        lists = sum(len(level) for level in self._alpha_lists.values()) + sum(
+            len(level) for level in self._beta_lists.values()
+        )
+        return IndexStats(
+            name="Idelta",
+            entries=entries,
+            adjacency_lists=lists,
+            build_seconds=self._build_seconds,
+            extra={"delta": float(self._delta)},
+        )

@@ -1,0 +1,60 @@
+"""Persisting built indexes to disk.
+
+Index construction is the expensive part of the two-step framework, so real
+deployments build once and reuse.  We persist with :mod:`pickle` (the index is
+a plain container of tuples and dictionaries) plus a small JSON side-car with
+human-readable statistics so operators can inspect what is stored without
+loading the full structure.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import IndexConsistencyError
+from repro.index.base import CommunityIndex
+
+__all__ = ["save_index", "load_index", "index_stats_path"]
+
+PathLike = Union[str, Path]
+
+_MAGIC = "repro-community-index"
+_VERSION = 1
+
+
+def index_stats_path(path: PathLike) -> Path:
+    """Return the JSON side-car path associated with an index file."""
+    path = Path(path)
+    return path.with_suffix(path.suffix + ".stats.json")
+
+
+def save_index(index: CommunityIndex, path: PathLike) -> Path:
+    """Serialise ``index`` to ``path`` and write its statistics side-car."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"magic": _MAGIC, "version": _VERSION, "index": index}
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    stats = index.stats()
+    with open(index_stats_path(path), "w", encoding="utf-8") as handle:
+        json.dump({"name": stats.name, **stats.as_dict()}, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_index(path: PathLike) -> CommunityIndex:
+    """Load an index previously written by :func:`save_index`."""
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise IndexConsistencyError(f"{path} is not a serialized community index")
+    if payload.get("version") != _VERSION:
+        raise IndexConsistencyError(
+            f"unsupported index version {payload.get('version')!r} in {path}"
+        )
+    index = payload["index"]
+    if not isinstance(index, CommunityIndex):
+        raise IndexConsistencyError(f"{path} does not contain a CommunityIndex")
+    return index

@@ -1,0 +1,52 @@
+"""Shared BFS over sorted index adjacency lists.
+
+Both the basic indexes and the degeneracy-bounded index answer queries the
+same way (Algorithm 2 of the paper): starting from the query vertex, walk the
+pre-sorted adjacency lists, stopping the scan of each list as soon as an
+offset drops below the query requirement.  Because a list entry is touched
+only when it corresponds to an edge of the answer, the traversal runs in
+O(size(C_{α,β}(q))) time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+
+__all__ = ["IndexEntry", "AdjacencyLists", "bfs_over_lists"]
+
+# (neighbour handle, edge weight, neighbour offset at this index level)
+IndexEntry = Tuple[Vertex, float, int]
+AdjacencyLists = Dict[Vertex, List[IndexEntry]]
+
+
+def bfs_over_lists(
+    lists: AdjacencyLists,
+    query: Vertex,
+    requirement: int,
+    name: str = "",
+) -> BipartiteGraph:
+    """Collect the community of ``query`` from sorted adjacency lists.
+
+    ``lists[v]`` must be sorted by decreasing offset; an entry whose offset is
+    >= ``requirement`` corresponds to an edge of the answer.  The caller is
+    responsible for checking that ``query`` itself belongs to the queried core.
+    """
+    community = BipartiteGraph(name=name)
+    seen: Set[Vertex] = {query}
+    queue: deque[Vertex] = deque([query])
+    while queue:
+        vertex = queue.popleft()
+        for nbr, weight, offset in lists.get(vertex, ()):  # sorted descending
+            if offset < requirement:
+                break
+            if vertex.side is Side.UPPER:
+                community.add_edge(vertex.label, nbr.label, weight)
+            else:
+                community.add_edge(nbr.label, vertex.label, weight)
+            if nbr not in seen:
+                seen.add(nbr)
+                queue.append(nbr)
+    return community

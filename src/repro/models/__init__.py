@@ -1,0 +1,45 @@
+"""Comparison community models and quality metrics.
+
+The paper's effectiveness study (Figure 6, Table II) compares the significant
+(α,β)-community against four alternatives:
+
+* the plain (α,β)-core community (already provided by :mod:`repro.index`),
+* the k-bitruss community (:mod:`repro.models.bitruss`),
+* a maximal biclique (:mod:`repro.models.biclique`),
+* the ``C4*`` threshold community of high-average-rating items
+  (:mod:`repro.models.threshold`).
+
+:mod:`repro.models.metrics` implements the statistics reported in those
+experiments (bipartite density, dislike users, Jaccard similarity, average and
+minimum ratings, items per user).
+"""
+
+from repro.models.biclique import enumerate_maximal_bicliques, greedy_biclique
+from repro.models.bitruss import bitruss_community, bitruss_numbers, k_bitruss
+from repro.models.butterfly import butterflies_per_edge, count_butterflies
+from repro.models.metrics import (
+    CommunityStats,
+    average_weight,
+    bipartite_density,
+    community_stats,
+    dislike_user_fraction,
+    jaccard_similarity,
+)
+from repro.models.threshold import threshold_community
+
+__all__ = [
+    "count_butterflies",
+    "butterflies_per_edge",
+    "bitruss_numbers",
+    "k_bitruss",
+    "bitruss_community",
+    "greedy_biclique",
+    "enumerate_maximal_bicliques",
+    "threshold_community",
+    "CommunityStats",
+    "bipartite_density",
+    "average_weight",
+    "dislike_user_fraction",
+    "jaccard_similarity",
+    "community_stats",
+]

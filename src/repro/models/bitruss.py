@@ -1,0 +1,87 @@
+"""The k-bitruss model (Zou, DASFAA 2016; Wang et al., ICDE 2020).
+
+The k-bitruss of a bipartite graph is the maximal subgraph in which every edge
+is contained in at least ``k`` butterflies *of that subgraph*.  The bitruss
+number of an edge is the largest ``k`` for which the edge survives; it is
+computed by the standard support-peeling algorithm: repeatedly remove the edge
+with the smallest remaining support, decrementing the supports of the three
+other edges of every butterfly the removed edge participated in.
+
+The paper uses ``k = α·β`` when comparing against the significant
+(α,β)-community model (Section V-B).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, Hashable, Set, Tuple
+
+from repro.exceptions import EmptyCommunityError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.views import connected_component, edge_subgraph
+from repro.models.butterfly import butterflies_per_edge
+from repro.utils.validation import check_positive_int
+
+__all__ = ["bitruss_numbers", "k_bitruss", "bitruss_community"]
+
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+def bitruss_numbers(graph: BipartiteGraph) -> Dict[EdgeKey, int]:
+    """Return the bitruss number of every edge of ``graph``."""
+    support = butterflies_per_edge(graph)
+    # Mutable adjacency of the shrinking graph, kept on both layers so that
+    # butterfly enumeration at removal time is proportional to local degrees.
+    upper_adj: Dict[Hashable, Set[Hashable]] = {
+        u: set(graph.neighbors(Side.UPPER, u)) for u in graph.upper_labels()
+    }
+    lower_adj: Dict[Hashable, Set[Hashable]] = {
+        v: set(graph.neighbors(Side.LOWER, v)) for v in graph.lower_labels()
+    }
+    alive: Set[EdgeKey] = set(support)
+    current = dict(support)
+
+    tiebreak = count()
+    heap = [(sup, next(tiebreak), edge) for edge, sup in current.items()]
+    heapq.heapify(heap)
+
+    numbers: Dict[EdgeKey, int] = {}
+    level = 0
+    while heap:
+        sup, _, edge = heapq.heappop(heap)
+        if edge not in alive or sup != current[edge]:
+            continue  # stale entry
+        level = max(level, sup)
+        numbers[edge] = level
+        u, v = edge
+        alive.discard(edge)
+        upper_adj[u].discard(v)
+        lower_adj[v].discard(u)
+
+        # Every butterfly containing (u, v) uses one other upper vertex u' that
+        # is still adjacent to v, and one other lower vertex v' adjacent to
+        # both u and u'.  The three surviving edges lose one unit of support.
+        for other_u in list(lower_adj[v]):
+            for other_v in upper_adj[u] & upper_adj[other_u]:
+                for affected in ((other_u, v), (u, other_v), (other_u, other_v)):
+                    if affected in alive and current[affected] > level:
+                        current[affected] -= 1
+                        heapq.heappush(heap, (current[affected], next(tiebreak), affected))
+    return numbers
+
+
+def k_bitruss(graph: BipartiteGraph, k: int) -> BipartiteGraph:
+    """Return the k-bitruss of ``graph`` (possibly empty)."""
+    check_positive_int(k, "k")
+    numbers = bitruss_numbers(graph)
+    surviving = [edge for edge, number in numbers.items() if number >= k]
+    return edge_subgraph(graph, surviving, name=f"{graph.name}:bitruss({k})")
+
+
+def bitruss_community(graph: BipartiteGraph, query: Vertex, k: int) -> BipartiteGraph:
+    """Connected component of ``query`` in the k-bitruss of ``graph``."""
+    truss = k_bitruss(graph, k)
+    if not truss.has_vertex(query.side, query.label):
+        raise EmptyCommunityError(query, k, k)
+    return connected_component(truss, query)

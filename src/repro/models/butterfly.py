@@ -1,0 +1,87 @@
+"""Butterfly counting on bipartite graphs.
+
+A *butterfly* is a 2x2 biclique — the bipartite analogue of a triangle and the
+building block of the bitruss model.  This module counts, for every edge, the
+number of butterflies that contain it (its *support*), using wedge counting:
+for every pair of upper vertices sharing ``c`` common lower neighbours there
+are ``c·(c−1)/2`` butterflies on that pair, and an edge ``(u, v)`` is contained
+in ``Σ_{u' ∈ N(v)\\{u}} (|N(u) ∩ N(u')| − 1)`` butterflies.
+
+Wedges are generated from the layer whose sum of squared degrees is smaller —
+the cheap half of the vertex-priority optimisation of Wang et al. (PVLDB 2019)
+— which keeps the computation comfortably fast on the scaled datasets used in
+this reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+from typing import Dict, Hashable, Tuple
+
+from repro.graph.bipartite import BipartiteGraph, Side
+
+__all__ = ["count_wedges", "count_butterflies", "butterflies_per_edge"]
+
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+def _squared_degree_sum(graph: BipartiteGraph, side: Side) -> int:
+    return sum(graph.degree(side, label) ** 2 for label in graph.labels(side))
+
+
+def count_wedges(graph: BipartiteGraph, center_side: Side) -> Dict[Tuple[Hashable, Hashable], int]:
+    """Count, per unordered pair of ``center_side.other`` vertices, their common neighbours.
+
+    The "center" of a wedge is the shared neighbour; the returned dictionary
+    maps each pair of endpoint labels (ordered canonically by ``repr``) to the
+    number of distinct centers connecting them.
+    """
+    pair_counts: Dict[Tuple[Hashable, Hashable], int] = defaultdict(int)
+    for center in graph.labels(center_side):
+        endpoints = sorted(graph.neighbors(center_side, center), key=repr)
+        for a, b in combinations(endpoints, 2):
+            pair_counts[(a, b)] += 1
+    return dict(pair_counts)
+
+
+def count_butterflies(graph: BipartiteGraph) -> int:
+    """Total number of butterflies in ``graph``."""
+    # Generate wedges centred on the cheaper layer.
+    center = (
+        Side.LOWER
+        if _squared_degree_sum(graph, Side.LOWER) <= _squared_degree_sum(graph, Side.UPPER)
+        else Side.UPPER
+    )
+    pair_counts = count_wedges(graph, center)
+    return sum(c * (c - 1) // 2 for c in pair_counts.values())
+
+
+def butterflies_per_edge(graph: BipartiteGraph) -> Dict[EdgeKey, int]:
+    """Return the butterfly support of every edge, keyed by ``(upper, lower)``.
+
+    The support of ``(u, v)`` is computed as
+    ``Σ_{u' ∈ N(v), u' ≠ u} (common(u, u') − 1)`` where ``common`` counts the
+    lower vertices adjacent to both ``u`` and ``u'`` (which always includes
+    ``v`` itself, hence the ``− 1``).
+    """
+    # common[u][u'] for pairs of upper vertices that share at least one neighbour.
+    common: Dict[Hashable, Dict[Hashable, int]] = defaultdict(lambda: defaultdict(int))
+    for v in graph.lower_labels():
+        uppers = list(graph.neighbors(Side.LOWER, v))
+        for a, b in combinations(uppers, 2):
+            common[a][b] += 1
+            common[b][a] += 1
+
+    support: Dict[EdgeKey, int] = {}
+    for u, v, _ in graph.edges():
+        count = 0
+        u_common = common.get(u, {})
+        for other_u in graph.neighbors(Side.LOWER, v):
+            if other_u == u:
+                continue
+            shared = u_common.get(other_u, 0)
+            if shared > 1:
+                count += shared - 1
+        support[(u, v)] = count
+    return support

@@ -1,0 +1,139 @@
+"""Community quality metrics used by the effectiveness experiments.
+
+These are the statistics reported in Figure 6 and Table II of the paper:
+
+* bipartite graph density ``|E| / sqrt(|U|·|L|)`` (Kannan & Vinay),
+* average and minimum edge weight (``Ravg`` / ``Rmin``),
+* average number of items per user (``Mavg``),
+* percentage of *dislike users* — users contributing fewer than ``0.6·α`` good
+  ratings (a good rating is a weight of at least ``good_threshold``),
+* Jaccard similarity between two communities' vertex sets (``Sim``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+
+__all__ = [
+    "bipartite_density",
+    "average_weight",
+    "minimum_weight",
+    "items_per_user",
+    "dislike_user_fraction",
+    "jaccard_similarity",
+    "CommunityStats",
+    "community_stats",
+]
+
+
+def bipartite_density(graph: BipartiteGraph) -> float:
+    """``|E| / sqrt(|U|·|L|)`` — 0.0 for a graph with an empty layer."""
+    if graph.num_upper == 0 or graph.num_lower == 0:
+        return 0.0
+    return graph.num_edges / math.sqrt(graph.num_upper * graph.num_lower)
+
+
+def average_weight(graph: BipartiteGraph) -> float:
+    """Mean edge weight (0.0 for an edgeless graph)."""
+    if graph.num_edges == 0:
+        return 0.0
+    return graph.total_weight() / graph.num_edges
+
+
+def minimum_weight(graph: BipartiteGraph) -> float:
+    """Minimum edge weight (0.0 for an edgeless graph)."""
+    if graph.num_edges == 0:
+        return 0.0
+    return graph.significance()
+
+
+def items_per_user(graph: BipartiteGraph) -> float:
+    """Average degree of the upper layer (``Mavg`` in Table II)."""
+    if graph.num_upper == 0:
+        return 0.0
+    return graph.num_edges / graph.num_upper
+
+
+def dislike_user_fraction(
+    graph: BipartiteGraph,
+    alpha: int,
+    good_threshold: float = 4.0,
+    ratio: float = 0.6,
+) -> float:
+    """Fraction of upper vertices giving fewer than ``ratio·α`` good ratings."""
+    if graph.num_upper == 0:
+        return 0.0
+    required = ratio * alpha
+    dislikes = 0
+    for user in graph.upper_labels():
+        good = sum(
+            1 for weight in graph.neighbors(Side.UPPER, user).values() if weight >= good_threshold
+        )
+        if good < required:
+            dislikes += 1
+    return dislikes / graph.num_upper
+
+
+def jaccard_similarity(first: BipartiteGraph, second: BipartiteGraph) -> float:
+    """Jaccard similarity of the two communities' vertex sets."""
+    vertices_a = set(first.vertices())
+    vertices_b = set(second.vertices())
+    if not vertices_a and not vertices_b:
+        return 1.0
+    union = vertices_a | vertices_b
+    if not union:
+        return 0.0
+    return len(vertices_a & vertices_b) / len(union)
+
+
+@dataclass
+class CommunityStats:
+    """One row of Table II."""
+
+    model: str
+    num_users: int
+    num_items: int
+    average_rating: float
+    minimum_rating: float
+    items_per_user: float
+    density: float
+    dislike_fraction: float
+    similarity_to_reference: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "model": self.model,
+            "|U|": self.num_users,
+            "|M|": self.num_items,
+            "Ravg": round(self.average_rating, 3),
+            "Rmin": round(self.minimum_rating, 3),
+            "Mavg": round(self.items_per_user, 3),
+            "density": round(self.density, 3),
+            "dislike%": round(self.dislike_fraction * 100.0, 2),
+            "Sim%": round(self.similarity_to_reference * 100.0, 2),
+        }
+
+
+def community_stats(
+    model: str,
+    community: BipartiteGraph,
+    alpha: int,
+    reference: BipartiteGraph,
+    good_threshold: float = 4.0,
+) -> CommunityStats:
+    """Compute the Table II statistics of ``community`` against ``reference``."""
+    return CommunityStats(
+        model=model,
+        num_users=community.num_upper,
+        num_items=community.num_lower,
+        average_rating=average_weight(community),
+        minimum_rating=minimum_weight(community),
+        items_per_user=items_per_user(community),
+        density=bipartite_density(community),
+        dislike_fraction=dislike_user_fraction(community, alpha, good_threshold),
+        similarity_to_reference=jaccard_similarity(community, reference),
+    )

@@ -1,0 +1,49 @@
+"""The ``C4*`` threshold community used as a weight-only baseline.
+
+The paper's effectiveness study includes a community ``C4*`` built purely from
+edge weights: the induced subgraph of all items (lower-layer vertices) whose
+average rating is at least a threshold (4.0 in the paper), together with the
+users adjacent to them; the community of a query vertex is its connected
+component inside that subgraph.  It ignores structure cohesiveness entirely,
+which is exactly why it scores poorly on density and dislike users.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set
+
+from repro.exceptions import EmptyCommunityError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.views import connected_component
+
+__all__ = ["high_average_items", "threshold_subgraph", "threshold_community"]
+
+
+def high_average_items(graph: BipartiteGraph, threshold: float) -> Set[Hashable]:
+    """Lower-layer vertices whose average incident edge weight is >= ``threshold``."""
+    items: Set[Hashable] = set()
+    for label in graph.lower_labels():
+        weights = graph.neighbors(Side.LOWER, label).values()
+        if weights and sum(weights) / len(weights) >= threshold:
+            items.add(label)
+    return items
+
+
+def threshold_subgraph(graph: BipartiteGraph, threshold: float) -> BipartiteGraph:
+    """Subgraph induced by high-average items and every user adjacent to them."""
+    items = high_average_items(graph, threshold)
+    result = BipartiteGraph(name=f"{graph.name}:C{threshold:g}*")
+    for item in items:
+        for user, weight in graph.neighbors(Side.LOWER, item).items():
+            result.add_edge(user, item, weight)
+    return result
+
+
+def threshold_community(
+    graph: BipartiteGraph, query: Vertex, threshold: float = 4.0
+) -> BipartiteGraph:
+    """The connected component of ``query`` in the ``C4*``-style subgraph."""
+    subgraph = threshold_subgraph(graph, threshold)
+    if not subgraph.has_vertex(query.side, query.label):
+        raise EmptyCommunityError(query, 1, 1)
+    return connected_component(subgraph, query)

@@ -1,0 +1,22 @@
+"""Significant (α,β)-community search algorithms (Section IV of the paper).
+
+All algorithms take the (α,β)-community ``C_{α,β}(q)`` produced by an index
+(or, for the baseline, the raw connected component of the query vertex) and
+extract the significant (α,β)-community ``R``:
+
+* :func:`~repro.search.peel.scs_peel` — Algorithm 4, iteratively removes the
+  lightest edges.
+* :func:`~repro.search.expand.scs_expand` — Algorithm 5, grows a subgraph from
+  the heaviest edges with union-find and pruning rules.
+* :func:`~repro.search.binary.scs_binary` — binary search over edge weights.
+* :func:`~repro.search.baseline.scs_baseline` — index-free expansion over the
+  whole connected component (the paper's ``SCS-Baseline``).
+"""
+
+from repro.search.baseline import scs_baseline
+from repro.search.binary import scs_binary
+from repro.search.expand import scs_expand
+from repro.search.peel import scs_peel
+from repro.search.result import SearchResult
+
+__all__ = ["SearchResult", "scs_peel", "scs_expand", "scs_binary", "scs_baseline"]

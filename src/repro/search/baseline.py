@@ -1,0 +1,37 @@
+"""``SCS-Baseline``: expansion without the two-step framework.
+
+The baseline of the paper's evaluation ignores the (α,β)-community and expands
+edges (heaviest first) from the *entire connected component* of the query
+vertex in the original graph.  It produces exactly the same answer as the
+indexed algorithms but has to consider a much larger search space, which is
+what Figure 12 measures.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.views import connected_component
+from repro.search.expand import DEFAULT_EPSILON, expand_over_pool
+from repro.utils.validation import check_query_vertex, check_thresholds
+
+__all__ = ["scs_baseline"]
+
+
+def scs_baseline(
+    graph: BipartiteGraph,
+    query: Vertex,
+    alpha: int,
+    beta: int,
+    epsilon: float = DEFAULT_EPSILON,
+) -> BipartiteGraph:
+    """Extract the significant (α,β)-community directly from the whole graph."""
+    check_thresholds(alpha, beta)
+    check_query_vertex(graph, query)
+    pool = connected_component(graph, query)
+    try:
+        return expand_over_pool(pool, query, alpha, beta, epsilon=epsilon)
+    except InvalidParameterError as exc:
+        # The pool holds no valid community: the query vertex is simply not in
+        # the (α,β)-core.
+        raise EmptyCommunityError(query, alpha, beta) from exc

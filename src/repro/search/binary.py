@@ -1,0 +1,75 @@
+"""``SCS-Binary``: binary search over the distinct edge weights.
+
+The remark at the end of Section IV of the paper discusses this alternative:
+for a candidate weight threshold ``w`` take the subgraph of ``C_{α,β}(q)``
+restricted to edges of weight >= ``w``, peel it, and test whether the query
+vertex survives.  The predicate is monotone in ``w`` (smaller thresholds keep
+more edges), so a binary search over the sorted distinct weights finds the
+largest feasible threshold; the answer is the connected component of the query
+vertex in the peeled subgraph at that threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.decomposition.abcore import peel_to_core
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.views import connected_component, induced_subgraph, weight_threshold_subgraph
+from repro.utils.validation import check_thresholds
+
+__all__ = ["scs_binary"]
+
+
+def _peel_subgraph(
+    subgraph: BipartiteGraph, query: Vertex, alpha: int, beta: int
+) -> Optional[BipartiteGraph]:
+    """Peel ``subgraph`` to its (α,β)-core; return the query's component or None."""
+    degrees: Dict[Vertex, int] = {v: subgraph.degree_of(v) for v in subgraph.vertices()}
+    neighbors = {
+        v: tuple(Vertex(v.side.other, label) for label in subgraph.neighbors(v.side, v.label))
+        for v in subgraph.vertices()
+    }
+    survivors = peel_to_core(degrees, neighbors, alpha, beta)
+    if query not in survivors:
+        return None
+    cohesive = induced_subgraph(subgraph, survivors)
+    return connected_component(cohesive, query)
+
+
+def scs_binary(
+    community: BipartiteGraph,
+    query: Vertex,
+    alpha: int,
+    beta: int,
+) -> BipartiteGraph:
+    """Extract the significant (α,β)-community via binary search on weights."""
+    check_thresholds(alpha, beta)
+    weights: List[float] = sorted(set(community.edge_weights()))
+    if len(weights) <= 1:
+        return community.copy()
+
+    # Invariant: feasible at ``low`` (the whole community survives at the
+    # minimum weight), unknown above.  Find the largest feasible threshold.
+    low, high = 0, len(weights) - 1
+    best: Optional[Tuple[float, BipartiteGraph]] = None
+    while low <= high:
+        mid = (low + high) // 2
+        threshold = weights[mid]
+        candidate = _peel_subgraph(
+            weight_threshold_subgraph(community, threshold), query, alpha, beta
+        )
+        if candidate is not None:
+            best = (threshold, candidate)
+            low = mid + 1
+        else:
+            high = mid - 1
+
+    if best is None:
+        raise InvalidParameterError(
+            f"the supplied community is not a valid ({alpha},{beta})-community of {query!r}"
+        )
+    result = best[1]
+    result.name = f"R({alpha},{beta})[{query.label!r}]"
+    return result

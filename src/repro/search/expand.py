@@ -1,0 +1,151 @@
+"""``SCS-Expand`` (Algorithm 5): grow the answer from the heaviest edges.
+
+Edges of the search space are inserted in non-increasing weight order into an
+initially empty graph ``G*`` whose connected components are maintained with a
+union-find structure.  Whenever the component ``C*`` containing the query
+vertex changes, cheap necessary conditions (Lemmas 7 and 8 of the paper)
+decide whether the answer could already be inside ``C*``; an expensive
+validation (peeling a copy of ``C*``) is only run when the component has grown
+by at least a factor ``epsilon`` since its last validation (the paper argues
+``epsilon = 2`` minimises total validation cost).  The first validation in
+which the query vertex survives yields the answer via :func:`scs_peel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.decomposition.abcore import peel_to_core
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.views import connected_component, induced_subgraph
+from repro.search.peel import scs_peel
+from repro.utils.unionfind import ComponentTracker
+from repro.utils.validation import check_thresholds
+
+__all__ = ["scs_expand", "expand_over_pool"]
+
+DEFAULT_EPSILON = 2.0
+
+
+def _lemma7_holds(alpha: int, beta: int, edges: int, uppers: int, lowers: int) -> bool:
+    """Necessary condition of Lemma 7: αβ − α − β ≤ |E(C*)| − |U(C*)| − |L(C*)|."""
+    return alpha * beta - alpha - beta <= edges - uppers - lowers
+
+
+def _validate_component(
+    pool: BipartiteGraph,
+    members: Set[Vertex],
+    query: Vertex,
+    alpha: int,
+    beta: int,
+) -> Optional[BipartiteGraph]:
+    """Peel the component subgraph; return the answer if the query survives."""
+    candidate = induced_subgraph(pool, members)
+    degrees: Dict[Vertex, int] = {v: candidate.degree_of(v) for v in candidate.vertices()}
+    neighbors = {
+        v: tuple(Vertex(v.side.other, label) for label in candidate.neighbors(v.side, v.label))
+        for v in candidate.vertices()
+    }
+    survivors = peel_to_core(degrees, neighbors, alpha, beta)
+    if query not in survivors:
+        return None
+    cohesive = induced_subgraph(candidate, survivors)
+    community = connected_component(cohesive, query)
+    return scs_peel(community, query, alpha, beta)
+
+
+def expand_over_pool(
+    pool: BipartiteGraph,
+    query: Vertex,
+    alpha: int,
+    beta: int,
+    epsilon: float = DEFAULT_EPSILON,
+) -> BipartiteGraph:
+    """Run the expansion search over an arbitrary edge pool containing ``R``.
+
+    ``pool`` must contain the significant (α,β)-community of ``query``
+    (``C_{α,β}(q)`` for the indexed variant, the whole connected component of
+    the query vertex for the baseline).  Exposed separately so that
+    ``SCS-Baseline`` can reuse the exact same expansion machinery.
+    """
+    check_thresholds(alpha, beta)
+    if epsilon <= 1.0:
+        raise InvalidParameterError("epsilon must be larger than 1")
+
+    ordered: List[Tuple[Hashable, Hashable, float]] = sorted(
+        pool.edges(), key=lambda edge: -edge[2]
+    )
+    tracker = ComponentTracker(alpha, beta)
+    grown = BipartiteGraph(name="G*")
+    query_threshold = alpha if query.side is Side.UPPER else beta
+    previous_checked_size = 0
+
+    index = 0
+    total = len(ordered)
+    while index < total:
+        batch_weight = ordered[index][2]
+        before_edges = tracker.component_edges(query) if tracker.contains(query) else -1
+        while index < total and ordered[index][2] == batch_weight:
+            u, v, w = ordered[index]
+            index += 1
+            grown.add_edge(u, v, w)
+            tracker.add_edge(Vertex(Side.UPPER, u), Vertex(Side.LOWER, v))
+
+        if not tracker.contains(query):
+            continue
+        component_edges = tracker.component_edges(query)
+        if component_edges == before_edges:
+            continue  # C* unchanged in this round.
+
+        # Lemma 7 / Lemma 8 style pruning: skip components that cannot yet
+        # contain a valid community.
+        uppers = tracker.component_upper(query)
+        lowers = tracker.component_lower(query)
+        if not _lemma7_holds(alpha, beta, component_edges, uppers, lowers):
+            continue
+        if tracker.saturated_upper(query) < beta or tracker.saturated_lower(query) < alpha:
+            continue
+        if tracker.degree(query) < query_threshold:
+            continue
+
+        # Geometric growth rule: validate only when the component has grown by
+        # a factor epsilon since the last validation (or has never been checked).
+        if previous_checked_size and component_edges < previous_checked_size * epsilon:
+            continue
+        previous_checked_size = component_edges
+
+        answer = _validate_component(
+            grown, tracker.component_members(query), query, alpha, beta
+        )
+        if answer is not None:
+            answer.name = f"R({alpha},{beta})[{query.label!r}]"
+            return answer
+
+    # All edges were inserted but the geometric growth rule may have skipped
+    # the final validation; run it unconditionally now.
+    if tracker.contains(query):
+        answer = _validate_component(
+            grown, tracker.component_members(query), query, alpha, beta
+        )
+        if answer is not None:
+            answer.name = f"R({alpha},{beta})[{query.label!r}]"
+            return answer
+    # No valid community exists inside the pool.
+    raise InvalidParameterError(
+        f"the supplied edge pool contains no ({alpha},{beta})-community of {query!r}"
+    )
+
+
+def scs_expand(
+    community: BipartiteGraph,
+    query: Vertex,
+    alpha: int,
+    beta: int,
+    epsilon: float = DEFAULT_EPSILON,
+) -> BipartiteGraph:
+    """Extract the significant (α,β)-community by expansion (Algorithm 5)."""
+    weights = set(community.edge_weights())
+    if len(weights) <= 1:
+        return community.copy()
+    return expand_over_pool(community, query, alpha, beta, epsilon=epsilon)

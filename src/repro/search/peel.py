@@ -1,0 +1,104 @@
+"""``SCS-Peel`` (Algorithm 4): peel the lightest edges until the query fails.
+
+Starting from the (α,β)-community ``C_{α,β}(q)`` — which already satisfies the
+connectivity and cohesiveness constraints — the algorithm repeatedly removes
+every edge carrying the current minimum weight and cascades the removal of
+vertices that fall below their degree threshold.  The moment the query vertex
+itself loses its required degree, the edges removed in the current round are
+restored and the connected component of the query vertex in that restored
+graph is the answer ``R``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.views import connected_component
+from repro.utils.validation import check_thresholds
+
+__all__ = ["scs_peel"]
+
+
+def _threshold(vertex: Vertex, alpha: int, beta: int) -> int:
+    return alpha if vertex.side is Side.UPPER else beta
+
+
+def scs_peel(
+    community: BipartiteGraph,
+    query: Vertex,
+    alpha: int,
+    beta: int,
+) -> BipartiteGraph:
+    """Extract the significant (α,β)-community from ``community``.
+
+    ``community`` must be the (α,β)-community of ``query`` (or, more generally,
+    a connected subgraph containing ``query`` in which every vertex meets its
+    degree threshold); the function does not modify it.
+    """
+    check_thresholds(alpha, beta)
+    # Special case called out by the paper: with a single distinct weight the
+    # community itself is the answer.
+    weights = set(community.edge_weights())
+    if len(weights) <= 1:
+        return community.copy()
+
+    work = community.copy()
+    ordered: List[Tuple[object, object, float]] = sorted(work.edges(), key=lambda e: e[2])
+    query_threshold = _threshold(query, alpha, beta)
+    index = 0
+    total = len(ordered)
+
+    while index < total:
+        # Skip edges already removed by an earlier cascade.
+        while index < total and not work.has_edge(ordered[index][0], ordered[index][1]):
+            index += 1
+        if index >= total:
+            break
+        current_weight = ordered[index][2]
+        removed_this_round: List[Tuple[object, object, float]] = []
+        cascade: Deque[Vertex] = deque()
+
+        # Remove every edge carrying the round's minimum weight.
+        while index < total and ordered[index][2] == current_weight:
+            u, v, w = ordered[index]
+            index += 1
+            if not work.has_edge(u, v):
+                continue
+            work.remove_edge(u, v)
+            removed_this_round.append((u, v, w))
+            for vertex in (Vertex(Side.UPPER, u), Vertex(Side.LOWER, v)):
+                if work.degree_of(vertex) < _threshold(vertex, alpha, beta):
+                    cascade.append(vertex)
+
+        # Cascade: a vertex below its threshold loses all remaining edges.
+        while cascade:
+            vertex = cascade.popleft()
+            if work.degree_of(vertex) >= _threshold(vertex, alpha, beta):
+                continue
+            other = vertex.side.other
+            for nbr_label in list(work.neighbors(vertex.side, vertex.label)):
+                if vertex.side is Side.UPPER:
+                    u_label, v_label = vertex.label, nbr_label
+                else:
+                    u_label, v_label = nbr_label, vertex.label
+                weight = work.remove_edge(u_label, v_label)
+                removed_this_round.append((u_label, v_label, weight))
+                neighbour = Vertex(other, nbr_label)
+                if work.degree_of(neighbour) < _threshold(neighbour, alpha, beta):
+                    cascade.append(neighbour)
+
+        if work.degree_of(query) < query_threshold:
+            # The query vertex no longer survives: the graph as it stood at the
+            # start of this round is the last valid one.  Restore the edges
+            # removed in this round and return the component of the query.
+            for u, v, w in removed_this_round:
+                work.add_edge(u, v, w)
+            result = connected_component(work, query)
+            result.name = f"R({alpha},{beta})[{query.label!r}]"
+            return result
+
+    # Unreachable for a well-formed input (the query vertex must eventually
+    # fail), but kept as a safe fall-back: the community itself is valid.
+    return community.copy()

@@ -1,0 +1,70 @@
+"""Result container returned by the significant-community search algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+
+__all__ = ["SearchResult"]
+
+
+@dataclass
+class SearchResult:
+    """The significant (α,β)-community of one query, plus provenance.
+
+    Attributes
+    ----------
+    graph:
+        The community ``R`` itself as a weighted bipartite subgraph.
+    query, alpha, beta:
+        The query that produced it.
+    method:
+        Which algorithm computed the result (``"peel"``, ``"expand"``,
+        ``"binary"`` or ``"baseline"``).
+    search_space_edges:
+        Number of edges of the subgraph the algorithm actually searched
+        (``C_{α,β}(q)`` for the indexed algorithms, the full connected
+        component for the baseline); useful for reporting the benefit of the
+        two-step framework.
+    """
+
+    graph: BipartiteGraph
+    query: Vertex
+    alpha: int
+    beta: int
+    method: str = ""
+    search_space_edges: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def significance(self) -> float:
+        """``f(R)``: the minimum edge weight of the community."""
+        return self.graph.significance()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def upper_labels(self) -> List[Hashable]:
+        """Labels of the community's upper-layer vertices (e.g. users)."""
+        return sorted(self.graph.upper_labels(), key=repr)
+
+    def lower_labels(self) -> List[Hashable]:
+        """Labels of the community's lower-layer vertices (e.g. items)."""
+        return sorted(self.graph.lower_labels(), key=repr)
+
+    def edges(self) -> List[Tuple[Hashable, Hashable, float]]:
+        return sorted(self.graph.edges(), key=repr)
+
+    def contains(self, vertex: Vertex) -> bool:
+        return self.graph.has_vertex(vertex.side, vertex.label)
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"significant ({self.alpha},{self.beta})-community of {self.query!r}: "
+            f"{self.graph.num_upper} upper x {self.graph.num_lower} lower vertices, "
+            f"{self.graph.num_edges} edges, significance {self.significance:g}"
+        )

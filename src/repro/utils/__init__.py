@@ -1,0 +1,6 @@
+"""Small shared utilities: union-find, validation helpers and timing."""
+
+from repro.utils.timer import Timer
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["UnionFind", "Timer"]

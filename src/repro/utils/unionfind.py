@@ -1,0 +1,197 @@
+"""Union-find (disjoint-set) structures.
+
+``SCS-Expand`` (Algorithm 5 of the paper) grows a subgraph edge by edge and
+must maintain, per connected component, the statistics used by the pruning
+rules of Lemmas 7 and 8:
+
+* the number of edges, upper vertices and lower vertices,
+* the number of upper vertices whose degree inside the component is >= alpha,
+* the number of lower vertices whose degree inside the component is >= beta.
+
+:class:`UnionFind` is the plain structure with path compression and union by
+size; :class:`ComponentTracker` layers the component statistics on top of it
+and is what the expansion algorithm uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, Set, TypeVar
+
+from repro.graph.bipartite import Side, Vertex
+
+T = TypeVar("T", bound=Hashable)
+
+__all__ = ["UnionFind", "ComponentTracker"]
+
+
+class UnionFind(Generic[T]):
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Register ``item`` as a singleton set (no-op if already present)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: T) -> T:
+        """Return the representative of the set containing ``item``."""
+        root = item
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression: point every visited node directly at the root.
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the sets containing ``a`` and ``b``; return the new root."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return root_a
+
+    def connected(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)
+
+    def set_size(self, item: T) -> int:
+        return self._size[self.find(item)]
+
+    def roots(self) -> Iterator[T]:
+        for item, parent in self._parent.items():
+            if item == parent:
+                yield item
+
+    def members(self, item: T) -> Set[T]:
+        """Return every element in the set containing ``item`` (O(n) scan)."""
+        root = self.find(item)
+        return {other for other in self._parent if self.find(other) == root}
+
+
+class ComponentTracker:
+    """Union-find over vertices with per-component statistics for SCS-Expand.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Degree thresholds of the query; used to maintain the counters behind
+        the Lemma 8 pruning rule.
+    """
+
+    def __init__(self, alpha: int, beta: int) -> None:
+        self.alpha = alpha
+        self.beta = beta
+        self._uf: UnionFind[Vertex] = UnionFind()
+        self._degree: Dict[Vertex, int] = {}
+        # Per-root aggregates.
+        self._edges: Dict[Vertex, int] = {}
+        self._upper: Dict[Vertex, int] = {}
+        self._lower: Dict[Vertex, int] = {}
+        self._upper_sat: Dict[Vertex, int] = {}
+        self._lower_sat: Dict[Vertex, int] = {}
+        # Per-root member adjacency so a component subgraph can be materialised.
+        self._members: Dict[Vertex, Set[Vertex]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _ensure(self, vertex: Vertex) -> None:
+        if vertex in self._uf:
+            return
+        self._uf.add(vertex)
+        self._degree[vertex] = 0
+        self._edges[vertex] = 0
+        self._members[vertex] = {vertex}
+        if vertex.side is Side.UPPER:
+            self._upper[vertex] = 1
+            self._lower[vertex] = 0
+        else:
+            self._upper[vertex] = 0
+            self._lower[vertex] = 1
+        self._upper_sat[vertex] = 0
+        self._lower_sat[vertex] = 0
+
+    def _threshold(self, vertex: Vertex) -> int:
+        return self.alpha if vertex.side is Side.UPPER else self.beta
+
+    def _bump_degree(self, vertex: Vertex) -> None:
+        """Increase ``vertex``'s degree by one, updating saturation counters."""
+        new_degree = self._degree[vertex] + 1
+        self._degree[vertex] = new_degree
+        if new_degree == self._threshold(vertex):
+            root = self._uf.find(vertex)
+            if vertex.side is Side.UPPER:
+                self._upper_sat[root] += 1
+            else:
+                self._lower_sat[root] += 1
+
+    def add_edge(self, u: Vertex, v: Vertex) -> Vertex:
+        """Record the edge ``(u, v)``; return the root of the merged component."""
+        self._ensure(u)
+        self._ensure(v)
+        root_u, root_v = self._uf.find(u), self._uf.find(v)
+        if root_u == root_v:
+            root = root_u
+            self._edges[root] += 1
+        else:
+            merged = self._uf.union(u, v)
+            other = root_v if merged == root_u else root_u
+            self._edges[merged] = self._edges[root_u] + self._edges[root_v] + 1
+            self._upper[merged] = self._upper[root_u] + self._upper[root_v]
+            self._lower[merged] = self._lower[root_u] + self._lower[root_v]
+            self._upper_sat[merged] = self._upper_sat[root_u] + self._upper_sat[root_v]
+            self._lower_sat[merged] = self._lower_sat[root_u] + self._lower_sat[root_v]
+            self._members[merged] |= self._members[other]
+            root = merged
+        self._bump_degree(u)
+        self._bump_degree(v)
+        return self._uf.find(u)
+
+    # ------------------------------------------------------------------ #
+    def contains(self, vertex: Vertex) -> bool:
+        return vertex in self._uf
+
+    def root_of(self, vertex: Vertex) -> Vertex:
+        return self._uf.find(vertex)
+
+    def component_edges(self, vertex: Vertex) -> int:
+        return self._edges[self._uf.find(vertex)]
+
+    def component_upper(self, vertex: Vertex) -> int:
+        return self._upper[self._uf.find(vertex)]
+
+    def component_lower(self, vertex: Vertex) -> int:
+        return self._lower[self._uf.find(vertex)]
+
+    def component_size(self, vertex: Vertex) -> int:
+        """The paper's ``size(C*)``: the number of edges in the component."""
+        return self.component_edges(vertex)
+
+    def saturated_upper(self, vertex: Vertex) -> int:
+        """Upper vertices of the component with degree >= alpha inside it."""
+        return self._upper_sat[self._uf.find(vertex)]
+
+    def saturated_lower(self, vertex: Vertex) -> int:
+        """Lower vertices of the component with degree >= beta inside it."""
+        return self._lower_sat[self._uf.find(vertex)]
+
+    def degree(self, vertex: Vertex) -> int:
+        return self._degree.get(vertex, 0)
+
+    def component_members(self, vertex: Vertex) -> Set[Vertex]:
+        """Vertices of the component containing ``vertex``."""
+        return self._members[self._uf.find(vertex)]

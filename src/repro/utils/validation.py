@@ -1,0 +1,76 @@
+"""Parameter and result validation helpers shared across modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+
+__all__ = [
+    "check_positive_int",
+    "check_thresholds",
+    "check_query_vertex",
+    "satisfies_degree_constraints",
+    "is_significant_candidate",
+]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Ensure ``value`` is an integer >= 1; return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise InvalidParameterError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_thresholds(alpha: int, beta: int) -> None:
+    """Validate the (alpha, beta) degree thresholds of a query."""
+    check_positive_int(alpha, "alpha")
+    check_positive_int(beta, "beta")
+
+
+def check_query_vertex(graph: BipartiteGraph, query: Vertex) -> Vertex:
+    """Ensure the query vertex exists in ``graph``; return it."""
+    if not isinstance(query, Vertex):
+        raise InvalidParameterError(
+            f"query must be a Vertex handle (use repro.upper/lower), got {query!r}"
+        )
+    if not graph.has_vertex(query.side, query.label):
+        raise InvalidParameterError(f"query vertex {query!r} is not in the graph")
+    return query
+
+
+def satisfies_degree_constraints(graph: BipartiteGraph, alpha: int, beta: int) -> bool:
+    """True if every upper vertex has degree >= alpha and lower >= beta."""
+    for label in graph.upper_labels():
+        if graph.degree(Side.UPPER, label) < alpha:
+            return False
+    for label in graph.lower_labels():
+        if graph.degree(Side.LOWER, label) < beta:
+            return False
+    return True
+
+
+def is_significant_candidate(
+    graph: BipartiteGraph,
+    query: Vertex,
+    alpha: int,
+    beta: int,
+    minimum_weight: Optional[float] = None,
+) -> bool:
+    """Check constraints (1) and (2) of Definition 5 for a candidate subgraph.
+
+    The candidate must contain the query vertex, be connected, satisfy the
+    degree thresholds, and (optionally) have significance >= ``minimum_weight``.
+    """
+    if graph.is_empty():
+        return False
+    if not graph.has_vertex(query.side, query.label):
+        return False
+    if not graph.is_connected():
+        return False
+    if not satisfies_degree_constraints(graph, alpha, beta):
+        return False
+    if minimum_weight is not None and graph.significance() < minimum_weight:
+        return False
+    return True

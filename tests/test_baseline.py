@@ -1,0 +1,56 @@
+"""Unit tests for SCS-Baseline (index-free expansion over the whole component)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
+from repro.graph.bipartite import upper
+from repro.index.queries import online_community_query
+from repro.search.baseline import scs_baseline
+from repro.search.peel import scs_peel
+
+from tests.reference import assert_same_graph
+
+
+class TestBaseline:
+    def test_paper_example(self, paper_graph):
+        result = scs_baseline(paper_graph, upper("u3"), 2, 2)
+        assert result.edge_set() == {("u3", "v1"), ("u3", "v2"), ("u4", "v1"), ("u4", "v2")}
+
+    def test_two_block_graph(self, two_block_graph):
+        result = scs_baseline(two_block_graph, upper("b0"), 2, 2)
+        assert set(result.upper_labels()) == {"b0", "b1", "b2"}
+
+    def test_query_outside_core_raises(self, tiny_graph):
+        with pytest.raises(EmptyCommunityError):
+            scs_baseline(tiny_graph, upper("u3"), 2, 2)
+
+    def test_missing_query_vertex_raises(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            scs_baseline(tiny_graph, upper("nope"), 1, 1)
+
+    @pytest.mark.parametrize("alpha,beta", [(2, 2), (2, 3), (3, 2)])
+    def test_matches_indexed_pipeline(self, random_graph, alpha, beta):
+        checked = 0
+        for vertex in random_graph.vertices():
+            try:
+                community = online_community_query(random_graph, vertex, alpha, beta)
+            except EmptyCommunityError:
+                continue
+            expected = scs_peel(community, vertex, alpha, beta)
+            assert_same_graph(scs_baseline(random_graph, vertex, alpha, beta), expected)
+            checked += 1
+            if checked >= 2:
+                break
+
+    def test_all_equal_weights_gives_alpha_beta_community(self):
+        from repro.graph.bipartite import BipartiteGraph
+
+        graph = BipartiteGraph.from_edges(
+            [(f"u{i}", f"v{j}", 1.0) for i in range(3) for j in range(3)]
+            + [("u0", "w0", 1.0)]
+        )
+        result = scs_baseline(graph, upper("u0"), 2, 2)
+        expected = online_community_query(graph, upper("u0"), 2, 2)
+        assert_same_graph(result, expected)

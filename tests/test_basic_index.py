@@ -1,0 +1,75 @@
+"""Unit tests for the basic indexes Iα_bs / Iβ_bs (Algorithms 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition.offsets import max_alpha, max_beta
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
+from repro.graph.bipartite import lower, upper
+from repro.index.basic_index import BasicIndex
+from repro.index.queries import online_community_query
+
+from tests.reference import assert_same_graph
+
+
+class TestConstruction:
+    def test_invalid_direction_rejected(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            BasicIndex(tiny_graph, direction="gamma")
+
+    def test_levels_default_to_max_degree(self, tiny_graph):
+        assert BasicIndex(tiny_graph, "alpha").max_level == max_alpha(tiny_graph)
+        assert BasicIndex(tiny_graph, "beta").max_level == max_beta(tiny_graph)
+
+    def test_max_level_cap(self, tiny_graph):
+        index = BasicIndex(tiny_graph, "alpha", max_level=2)
+        assert index.max_level == 2
+
+    def test_stats_name_per_direction(self, tiny_graph):
+        assert BasicIndex(tiny_graph, "alpha").stats().name == "Ia_bs"
+        assert BasicIndex(tiny_graph, "beta").stats().name == "Ib_bs"
+
+    def test_alpha_index_larger_than_delta_bound_on_hub_graphs(self, paper_graph):
+        # The paper's motivation: Iα_bs replicates hub adjacency across levels.
+        capped = BasicIndex(paper_graph, "alpha", max_level=5)
+        stats = capped.stats()
+        assert stats.entries > paper_graph.num_edges
+
+
+class TestQueries:
+    @pytest.mark.parametrize("direction", ["alpha", "beta"])
+    def test_paper_example(self, paper_graph, direction):
+        index = BasicIndex(paper_graph, direction, max_level=5)
+        community = index.community(upper("u3"), 2, 2)
+        assert community.num_edges == 16
+
+    @pytest.mark.parametrize("direction", ["alpha", "beta"])
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 2), (2, 3), (3, 2)])
+    def test_matches_online_query(self, random_graph, direction, alpha, beta):
+        index = BasicIndex(random_graph, direction)
+        for vertex in random_graph.vertices():
+            try:
+                expected = online_community_query(random_graph, vertex, alpha, beta)
+            except EmptyCommunityError:
+                with pytest.raises(EmptyCommunityError):
+                    index.community(vertex, alpha, beta)
+                continue
+            assert_same_graph(index.community(vertex, alpha, beta), expected)
+
+    def test_query_above_cap_rejected(self, tiny_graph):
+        index = BasicIndex(tiny_graph, "alpha", max_level=1)
+        with pytest.raises(InvalidParameterError):
+            index.community(upper("u0"), 2, 2)
+
+    def test_query_above_natural_max_is_empty(self, tiny_graph):
+        index = BasicIndex(tiny_graph, "alpha")
+        with pytest.raises(EmptyCommunityError):
+            index.community(upper("u0"), 10, 1)
+
+    def test_lower_side_query(self, two_block_graph):
+        # The bridge edge (a0, y0) keeps both blocks inside the (3,3)-core, so
+        # the community seen from y1 spans the whole graph.
+        index = BasicIndex(two_block_graph, "beta")
+        community = index.community(lower("y1"), 3, 3)
+        assert set(community.upper_labels()) == {"a0", "a1", "a2", "b0", "b1", "b2"}

@@ -1,0 +1,127 @@
+"""Integration tests: every experiment regenerates sensible rows at small scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    ablations,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+    table2,
+    table3,
+)
+
+SMALL = {"scale": 0.2}
+TWO_DATASETS = ["BS", "GH"]
+
+
+class TestTable1:
+    def test_rows_and_invariants(self):
+        result = table1.run(scale=0.25, datasets=TWO_DATASETS)
+        assert [row["dataset"] for row in result.rows] == TWO_DATASETS
+        for row in result.rows:
+            assert row["delta"] >= 1
+            assert row["delta"] <= min(row["alpha_max"], row["beta_max"])
+            assert row["|R_dd|"] <= row["|E|"]
+
+
+class TestEffectiveness:
+    @pytest.fixture(scope="class")
+    def fig6_result(self):
+        return fig6.run(fractions=(0.6,))
+
+    def test_fig6_models_present(self, fig6_result):
+        models = {row["model"] for row in fig6_result.rows}
+        assert models == {"SC", "(a,b)-core", "bitruss", "biclique", "C4*"}
+
+    def test_fig6_sc_quality(self, fig6_result):
+        by_model = {row["model"]: row for row in fig6_result.rows if row["density"]}
+        sc, core = by_model["SC"], by_model["(a,b)-core"]
+        assert sc["avg_rating"] > core["avg_rating"]
+        assert sc["dislike_pct"] <= core["dislike_pct"]
+        assert sc["|E|"] <= core["|E|"]
+
+    def test_table2_reference_is_sc(self):
+        result = table2.run(fraction=0.6)
+        rows = {row["model"]: row for row in result.rows if row["|U|"]}
+        assert rows["SC"]["Sim%"] == 100.0
+        assert rows["SC"]["Rmin"] >= rows["(a,b)-core"]["Rmin"]
+
+
+class TestEfficiency:
+    def test_fig8_speedups(self):
+        result = fig8.run(scale=0.25, datasets=TWO_DATASETS, queries=3)
+        for row in result.rows:
+            if row["queries"]:
+                assert row["Qopt_s"] > 0
+                assert row["Qo_s"] > 0
+
+    def test_fig9_sweeps_cover_requested_points(self):
+        result = fig9.run(scale=0.25, datasets=["SO"], fractions=(0.3, 0.7), queries=2)
+        sweeps = {row["sweep"] for row in result.rows}
+        assert "alpha=beta=c*delta" in sweeps
+
+    def test_fig10_reports_all_indexes(self):
+        result = fig10.run(scale=0.2, datasets=["BS"], basic_level_cap=3)
+        row = result.rows[0]
+        for column in ("Iv_s", "Ia_bs_s(est)", "Ib_bs_s(est)", "Idelta_s"):
+            assert row[column] >= 0.0
+
+    def test_fig11_size_relations(self):
+        result = fig11.run(scale=0.2, datasets=TWO_DATASETS)
+        for row in result.rows:
+            assert row["Iv_entries"] <= row["Idelta_entries"]
+
+    def test_fig11_basic_count_matches_built_index(self):
+        # The analytic entry count must equal an actually built basic index.
+        from repro.datasets.registry import load_dataset
+        from repro.index.basic_index import BasicIndex
+
+        graph = load_dataset("BS", scale=0.15)
+        analytic = fig11.basic_index_entry_count(graph, "alpha")
+        built = BasicIndex(graph, "alpha").stats().entries
+        assert analytic == built
+        analytic_beta = fig11.basic_index_entry_count(graph, "beta")
+        built_beta = BasicIndex(graph, "beta").stats().entries
+        assert analytic_beta == built_beta
+
+    def test_fig12_rows(self):
+        result = fig12.run(scale=0.25, datasets=TWO_DATASETS, queries=2)
+        for row in result.rows:
+            assert row["baseline_s"] > 0
+            assert row["peel_s"] > 0
+            assert row["expand_s"] > 0
+
+    def test_fig13_search_space_shrinks(self):
+        result = fig13.run(
+            scale=0.3, datasets=["DT"], fractions=(0.2, 0.8), queries=2, include_baseline=False
+        )
+        sizes = [row["|C(q)|"] for row in result.rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_table3_all_weight_models(self):
+        result = table3.run(scale=0.25, queries=2)
+        assert {row["weights"] for row in result.rows} == {"AE", "RW", "UF", "SK"}
+
+
+class TestAblations:
+    def test_epsilon(self):
+        result = ablations.run_epsilon(scale=0.25, queries=2, epsilons=(1.5, 2.0))
+        assert {row["epsilon"] for row in result.rows} == {1.5, 2.0}
+
+    def test_binary(self):
+        result = ablations.run_binary(datasets=["DT"], scale=0.25, queries=2)
+        assert result.rows and result.rows[0]["binary/expand"] > 0
+
+    def test_maintenance(self):
+        result = ablations.run_maintenance(scale=0.2, updates=3)
+        row = result.rows[0]
+        assert row["incremental_avg_s"] > 0
+        assert row["rebuild_avg_s"] > 0

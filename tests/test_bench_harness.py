@@ -1,0 +1,100 @@
+"""Unit tests for the experiment harness, reporting and registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, run_experiment
+from repro.bench.registry import EXPERIMENTS, experiment_names, get_experiment
+from repro.bench.reporting import format_cell, format_table
+from repro.exceptions import InvalidParameterError
+
+
+class TestReporting:
+    def test_format_cell_floats(self):
+        assert format_cell(0.123456) == "0.1235"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(123456.0) == "123,456"
+        assert format_cell(0) == "0"
+        assert format_cell(None) == "-"
+        assert format_cell("abc") == "abc"
+        assert format_cell(True) == "True"
+        assert format_cell(20000) == "20,000"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+
+    def test_format_empty_table(self):
+        assert format_table([], ["a"]) == "(no rows)"
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment="demo",
+            title="Demo experiment",
+            rows=[{"x": 1, "y": 2.5}, {"x": 3, "y": 4.5, "z": "extra"}],
+            paper_claim="x grows",
+            notes="synthetic",
+            parameters={"scale": 0.5},
+        )
+
+    def test_columns_union_preserves_order(self):
+        assert self._result().columns() == ["x", "y", "z"]
+
+    def test_to_text_contains_everything(self):
+        text = self._result().to_text()
+        assert "Demo experiment" in text
+        assert "paper: x grows" in text
+        assert "scale=0.5" in text
+        assert "extra" in text
+
+    def test_column_values(self):
+        assert self._result().column_values("x") == [1, 3]
+        assert self._result().column_values("z") == [None, "extra"]
+
+    def test_save_writes_json_and_text(self, tmp_path):
+        result = self._result()
+        json_path = result.save(tmp_path)
+        assert json_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "demo"
+        assert (tmp_path / "demo.txt").exists()
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        names = experiment_names()
+        for expected in ["table1", "fig6", "table2", "fig8", "fig9", "fig10",
+                         "fig11", "fig12", "fig13", "table3"]:
+            assert expected in names
+        assert "ablation_epsilon" in names
+        assert "ablation_binary" in names
+        assert "ablation_maintenance" in names
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("TABLE1") is EXPERIMENTS["table1"]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(InvalidParameterError):
+            get_experiment("fig99")
+
+
+class TestRunExperiment:
+    def test_run_table1_small(self, tmp_path):
+        result = run_experiment("table1", output_dir=tmp_path, scale=0.2, datasets=["BS"])
+        assert result.rows[0]["dataset"] == "BS"
+        assert (tmp_path / "table1.json").exists()
+
+    def test_run_fig11_small(self):
+        result = run_experiment("fig11", scale=0.2, datasets=["GH"])
+        row = result.rows[0]
+        assert row["Iv_entries"] <= row["Idelta_entries"]
+        assert row["Ia_bs_entries"] >= row["|E|"]

@@ -1,0 +1,105 @@
+"""Unit tests for maximal biclique enumeration and the greedy query heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Side, lower, upper
+from repro.graph.generators import complete_bipartite
+from repro.models.biclique import (
+    biclique_subgraph,
+    enumerate_maximal_bicliques,
+    greedy_biclique,
+)
+
+
+def is_biclique(graph: BipartiteGraph, uppers, lowers) -> bool:
+    return all(graph.has_edge(u, v) for u in uppers for v in lowers)
+
+
+def is_maximal(graph: BipartiteGraph, uppers, lowers) -> bool:
+    for u in graph.upper_labels():
+        if u not in uppers and all(graph.has_edge(u, v) for v in lowers):
+            return False
+    for v in graph.lower_labels():
+        if v not in lowers and all(graph.has_edge(u, v) for u in uppers):
+            return False
+    return True
+
+
+@pytest.fixture
+def overlapping_blocks() -> BipartiteGraph:
+    """Two overlapping 2x3 / 3x2 bicliques sharing a corner."""
+    edges = [
+        ("a", "x"), ("a", "y"), ("a", "z"),
+        ("b", "x"), ("b", "y"), ("b", "z"),
+        ("c", "z"), ("c", "w"),
+        ("b", "w"),
+    ]
+    return BipartiteGraph.from_edges(edges)
+
+
+class TestEnumeration:
+    def test_complete_bipartite_single_maximal_biclique(self):
+        graph = complete_bipartite(3, 4)
+        results = enumerate_maximal_bicliques(graph, min_upper=2, min_lower=2)
+        assert (frozenset(graph.upper_labels()), frozenset(graph.lower_labels())) in results
+
+    def test_all_results_are_maximal_bicliques(self, overlapping_blocks):
+        results = enumerate_maximal_bicliques(overlapping_blocks)
+        assert results
+        for uppers, lowers in results:
+            assert is_biclique(overlapping_blocks, uppers, lowers)
+            assert is_maximal(overlapping_blocks, uppers, lowers)
+
+    def test_min_size_filter(self, overlapping_blocks):
+        results = enumerate_maximal_bicliques(overlapping_blocks, min_upper=2, min_lower=3)
+        assert ({"a", "b"} == set(next(iter(results))[0]) for _ in results)
+        for uppers, lowers in results:
+            assert len(uppers) >= 2 and len(lowers) >= 3
+
+    def test_max_results_cap(self, uniform_random_graph):
+        results = enumerate_maximal_bicliques(uniform_random_graph, max_results=3)
+        assert len(results) <= 3
+
+    def test_finds_known_biclique(self, overlapping_blocks):
+        results = enumerate_maximal_bicliques(overlapping_blocks, min_upper=2, min_lower=2)
+        assert (frozenset({"a", "b"}), frozenset({"x", "y", "z"})) in results
+
+
+class TestGreedy:
+    def test_complete_graph_query(self):
+        graph = complete_bipartite(3, 3)
+        uppers, lowers = greedy_biclique(graph, upper("u0"), min_upper=3, min_lower=3)
+        assert uppers == frozenset({"u0", "u1", "u2"})
+        assert lowers == frozenset({"v0", "v1", "v2"})
+
+    def test_query_on_lower_side(self):
+        graph = complete_bipartite(3, 3)
+        uppers, lowers = greedy_biclique(graph, lower("v1"), min_upper=2, min_lower=2)
+        assert "v1" in lowers
+        assert is_biclique(graph, uppers, lowers)
+
+    def test_result_is_biclique_and_contains_query(self, overlapping_blocks):
+        uppers, lowers = greedy_biclique(overlapping_blocks, upper("b"), min_upper=1, min_lower=1)
+        assert "b" in uppers
+        assert is_biclique(overlapping_blocks, uppers, lowers)
+
+    def test_unsatisfiable_size_raises(self):
+        graph = complete_bipartite(2, 2)
+        with pytest.raises(EmptyCommunityError):
+            greedy_biclique(graph, upper("u0"), min_upper=3, min_lower=3)
+
+    def test_missing_query_raises(self):
+        graph = complete_bipartite(2, 2)
+        with pytest.raises(InvalidParameterError):
+            greedy_biclique(graph, upper("ghost"))
+
+
+class TestBicliqueSubgraph:
+    def test_subgraph_keeps_weights(self):
+        graph = BipartiteGraph.from_edges([("a", "x", 2.0), ("a", "y", 3.0), ("b", "x", 4.0), ("b", "y", 5.0)])
+        sub = biclique_subgraph(graph, (frozenset({"a", "b"}), frozenset({"x", "y"})))
+        assert sub.num_edges == 4
+        assert sub.weight("b", "y") == 5.0

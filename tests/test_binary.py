@@ -1,0 +1,63 @@
+"""Unit tests for SCS-Binary (binary search over edge weights)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, upper
+from repro.index.queries import online_community_query
+from repro.search.binary import scs_binary
+from repro.search.peel import scs_peel
+
+from tests.reference import assert_same_graph
+
+
+class TestBinary:
+    def test_paper_example(self, paper_graph):
+        community = online_community_query(paper_graph, upper("u3"), 2, 2)
+        result = scs_binary(community, upper("u3"), 2, 2)
+        assert result.edge_set() == {("u3", "v1"), ("u3", "v2"), ("u4", "v1"), ("u4", "v2")}
+
+    def test_all_equal_weights(self):
+        graph = BipartiteGraph.from_edges(
+            [(f"u{i}", f"v{j}", 7.0) for i in range(2) for j in range(2)]
+        )
+        community = online_community_query(graph, upper("u0"), 2, 2)
+        result = scs_binary(community, upper("u0"), 2, 2)
+        assert result.edge_set() == community.edge_set()
+
+    def test_two_distinct_weights(self, two_block_graph):
+        community = online_community_query(two_block_graph, upper("a0"), 2, 2)
+        result = scs_binary(community, upper("a0"), 2, 2)
+        assert result.significance() == 5.0
+
+    def test_invalid_thresholds(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            scs_binary(tiny_graph, upper("u0"), 1, 0)
+
+    def test_invalid_input_community_raises(self):
+        # A graph in which the query vertex never satisfies (2,2).
+        bogus = BipartiteGraph.from_edges([("u0", "v0", 1.0), ("u0", "v1", 2.0)])
+        with pytest.raises(InvalidParameterError):
+            scs_binary(bogus, upper("u0"), 2, 2)
+
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 2), (2, 3), (3, 2)])
+    def test_matches_peel(self, random_graph, alpha, beta):
+        checked = 0
+        for vertex in random_graph.vertices():
+            try:
+                community = online_community_query(random_graph, vertex, alpha, beta)
+            except Exception:
+                continue
+            expected = scs_peel(community, vertex, alpha, beta)
+            assert_same_graph(scs_binary(community, vertex, alpha, beta), expected)
+            checked += 1
+            if checked >= 3:
+                break
+
+    def test_does_not_mutate_input(self, two_block_graph):
+        community = online_community_query(two_block_graph, upper("a0"), 2, 2)
+        before = community.copy()
+        scs_binary(community, upper("a0"), 2, 2)
+        assert community.same_structure(before)

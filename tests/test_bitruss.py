@@ -1,0 +1,101 @@
+"""Unit tests for the k-bitruss decomposition and community."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, upper
+from repro.graph.generators import complete_bipartite, random_bipartite
+from repro.models.bitruss import bitruss_community, bitruss_numbers, k_bitruss
+from repro.models.butterfly import butterflies_per_edge
+
+
+def naive_k_bitruss(graph: BipartiteGraph, k: int) -> BipartiteGraph:
+    """Reference: repeatedly delete edges with fewer than k butterflies."""
+    work = graph.copy()
+    changed = True
+    while changed and work.num_edges:
+        changed = False
+        support = butterflies_per_edge(work)
+        for (u, v), value in support.items():
+            if value < k:
+                work.remove_edge(u, v)
+                changed = True
+    work.discard_isolated()
+    return work
+
+
+class TestBitrussNumbers:
+    def test_complete_bipartite(self):
+        graph = complete_bipartite(3, 3)
+        numbers = bitruss_numbers(graph)
+        assert set(numbers.values()) == {4}
+
+    def test_butterfly_free_graph(self):
+        graph = BipartiteGraph.from_edges([("u0", "v0"), ("u1", "v0"), ("u1", "v1")])
+        numbers = bitruss_numbers(graph)
+        assert set(numbers.values()) == {0}
+
+    def test_every_edge_gets_a_number(self, tiny_graph):
+        numbers = bitruss_numbers(tiny_graph)
+        assert set(numbers) == tiny_graph.edge_set()
+
+    def test_number_at_most_initial_support(self, tiny_graph):
+        numbers = bitruss_numbers(tiny_graph)
+        support = butterflies_per_edge(tiny_graph)
+        for edge, value in numbers.items():
+            assert value <= support[edge]
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_naive_truss(self, seed, k):
+        graph = random_bipartite(8, 8, 34, seed=seed)
+        numbers = bitruss_numbers(graph)
+        expected = naive_k_bitruss(graph, k)
+        derived = {edge for edge, value in numbers.items() if value >= k}
+        assert derived == expected.edge_set()
+
+
+class TestKBitruss:
+    def test_k_bitruss_edges_have_enough_support(self, tiny_graph):
+        truss = k_bitruss(tiny_graph, 2)
+        if truss.num_edges:
+            support = butterflies_per_edge(truss)
+            assert all(value >= 2 for value in support.values())
+
+    def test_k_bitruss_nesting(self, uniform_random_graph):
+        truss1 = k_bitruss(uniform_random_graph, 1)
+        truss2 = k_bitruss(uniform_random_graph, 2)
+        assert truss2.edge_set() <= truss1.edge_set()
+
+    def test_invalid_k(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            k_bitruss(tiny_graph, 0)
+
+    def test_weights_preserved(self, tiny_graph):
+        truss = k_bitruss(tiny_graph, 1)
+        for u, v, w in truss.edges():
+            assert w == tiny_graph.weight(u, v)
+
+
+class TestBitrussCommunity:
+    def test_community_contains_query(self):
+        graph = complete_bipartite(3, 3)
+        community = bitruss_community(graph, upper("u0"), 4)
+        assert community.has_vertex(upper("u0").side, "u0")
+        assert community.num_edges == 9
+
+    def test_query_outside_truss_raises(self):
+        graph = BipartiteGraph.from_edges([("u0", "v0"), ("u1", "v0"), ("u1", "v1")])
+        with pytest.raises(EmptyCommunityError):
+            bitruss_community(graph, upper("u0"), 1)
+
+    def test_community_is_connected(self, uniform_random_graph):
+        numbers = bitruss_numbers(uniform_random_graph)
+        positive = [edge for edge, value in numbers.items() if value >= 1]
+        if not positive:
+            pytest.skip("graph has no butterflies")
+        query = upper(positive[0][0])
+        community = bitruss_community(uniform_random_graph, query, 1)
+        assert community.is_connected()

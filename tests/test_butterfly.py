@@ -1,0 +1,78 @@
+"""Unit tests for butterfly counting."""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph, Side
+from repro.graph.generators import complete_bipartite, random_bipartite
+from repro.models.butterfly import butterflies_per_edge, count_butterflies, count_wedges
+
+
+def naive_butterfly_count(graph: BipartiteGraph) -> int:
+    """Count butterflies by enumerating all 2x2 vertex pairs (exponential-ish)."""
+    uppers = list(graph.upper_labels())
+    lowers = list(graph.lower_labels())
+    count = 0
+    for u1, u2 in combinations(uppers, 2):
+        for v1, v2 in combinations(lowers, 2):
+            if (
+                graph.has_edge(u1, v1)
+                and graph.has_edge(u1, v2)
+                and graph.has_edge(u2, v1)
+                and graph.has_edge(u2, v2)
+            ):
+                count += 1
+    return count
+
+
+class TestTotals:
+    def test_single_butterfly(self):
+        graph = complete_bipartite(2, 2)
+        assert count_butterflies(graph) == 1
+
+    def test_complete_bipartite_formula(self):
+        graph = complete_bipartite(4, 5)
+        expected = math.comb(4, 2) * math.comb(5, 2)
+        assert count_butterflies(graph) == expected
+
+    def test_path_has_no_butterfly(self):
+        graph = BipartiteGraph.from_edges([("u0", "v0"), ("u1", "v0"), ("u1", "v1")])
+        assert count_butterflies(graph) == 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_naive_on_random_graphs(self, seed):
+        graph = random_bipartite(8, 8, 30, seed=seed)
+        assert count_butterflies(graph) == naive_butterfly_count(graph)
+
+    def test_wedge_counts(self):
+        graph = complete_bipartite(3, 3)
+        wedges = count_wedges(graph, Side.LOWER)
+        # Every pair of upper vertices shares all 3 lower vertices.
+        assert all(count == 3 for count in wedges.values())
+        assert len(wedges) == 3
+
+
+class TestPerEdge:
+    def test_complete_bipartite_support(self):
+        graph = complete_bipartite(3, 3)
+        support = butterflies_per_edge(graph)
+        # Each edge of K3,3 is contained in (3-1)*(3-1) = 4 butterflies.
+        assert all(value == 4 for value in support.values())
+        assert len(support) == 9
+
+    def test_sum_of_supports_is_four_times_total(self):
+        graph = random_bipartite(7, 7, 25, seed=5)
+        support = butterflies_per_edge(graph)
+        assert sum(support.values()) == 4 * count_butterflies(graph)
+
+    def test_edge_without_butterflies(self):
+        graph = BipartiteGraph.from_edges(
+            [("u0", "v0"), ("u0", "v1"), ("u1", "v0"), ("u1", "v1"), ("u2", "v2")]
+        )
+        support = butterflies_per_edge(graph)
+        assert support[("u2", "v2")] == 0
+        assert support[("u0", "v0")] == 1

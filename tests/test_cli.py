@@ -1,0 +1,46 @@
+"""Unit tests for the repro-bench command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+from repro.exceptions import InvalidParameterError
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale is None
+        assert args.output is None
+
+    def test_dataset_list_parsing(self):
+        args = build_parser().parse_args(["fig8", "--datasets", "BS, GH ,SO"])
+        assert args.datasets == "BS, GH ,SO"
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig12" in out
+
+    def test_run_single_experiment(self, capsys, tmp_path):
+        code = main(
+            ["table1", "--scale", "0.2", "--datasets", "BS", "--output", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Dataset summary" in out
+        assert (tmp_path / "table1.json").exists()
+
+    def test_run_with_queries_and_seed(self, capsys):
+        code = main(["fig8", "--scale", "0.2", "--datasets", "BS", "--queries", "2", "--seed", "1"])
+        assert code == 0
+        assert "Qopt_s" in capsys.readouterr().out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(InvalidParameterError):
+            main(["fig99"])

@@ -1,0 +1,82 @@
+"""Unit tests for the dataset registry and synthetic builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import DATASETS, dataset_names, get_spec, load_dataset
+from repro.datasets.synthetic import DatasetSpec, build_synthetic_dataset
+from repro.decomposition.degeneracy import degeneracy
+from repro.exceptions import DatasetError
+from repro.graph.bipartite import Side
+
+
+class TestRegistry:
+    def test_eleven_datasets_like_table_1(self):
+        assert len(DATASETS) == 11
+        assert dataset_names() == [
+            "BS", "GH", "SO", "LS", "DT", "AR", "PA", "ML", "DUI", "EN", "DTI",
+        ]
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("ml").name == "ML"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_spec("NOPE")
+        with pytest.raises(DatasetError):
+            load_dataset("NOPE")
+
+    def test_every_spec_has_paper_reference(self):
+        for spec in DATASETS.values():
+            assert "|E|" in spec.paper_reference
+            assert spec.description
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", ["BS", "DT", "ML"])
+    def test_load_produces_nontrivial_graph(self, name):
+        graph = load_dataset(name, scale=0.3)
+        assert graph.num_edges > 100
+        assert graph.num_upper > 0 and graph.num_lower > 0
+        assert degeneracy(graph) >= 2
+
+    def test_load_is_deterministic(self):
+        a = load_dataset("BS", scale=0.3)
+        b = load_dataset("BS", scale=0.3)
+        assert a.same_structure(b)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("GH", scale=0.2)
+        large = load_dataset("GH", scale=0.6)
+        assert small.num_edges < large.num_edges
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            get_spec("GH").scaled(0.0)
+
+    def test_weight_models_applied(self):
+        # ML uses the skewed model; all-equal would have a single distinct weight.
+        graph = load_dataset("ML", scale=0.2)
+        assert len(set(graph.edge_weights())) > 1
+
+    def test_rw_weight_dataset(self):
+        graph = load_dataset("DT", scale=0.2)
+        weights = list(graph.edge_weights())
+        assert min(weights) >= 1.0
+        assert max(weights) <= 5.0
+
+
+class TestSpecScaling:
+    def test_scaled_preserves_shape_parameters(self):
+        spec = get_spec("EN")
+        scaled = spec.scaled(0.5)
+        assert scaled.exponent_upper == spec.exponent_upper
+        assert scaled.num_edges == int(spec.num_edges * 0.5)
+        assert scaled.paper_reference == spec.paper_reference
+
+    def test_custom_spec_build(self):
+        spec = DatasetSpec(name="custom", num_upper=30, num_lower=30, num_edges=200, weight_model="AE")
+        graph = build_synthetic_dataset(spec)
+        assert graph.name == "custom"
+        assert len(set(graph.edge_weights())) == 1

@@ -1,0 +1,48 @@
+"""Unit tests for the degeneracy δ (Definition 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition.abcore import abcore_vertices
+from repro.decomposition.degeneracy import (
+    degeneracy,
+    degeneracy_by_peeling,
+    degeneracy_upper_bound,
+)
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import complete_bipartite, paper_example_graph, star_heavy_graph
+
+
+class TestDegeneracy:
+    def test_empty_graph(self):
+        assert degeneracy(BipartiteGraph()) == 0
+
+    def test_single_edge(self):
+        assert degeneracy(BipartiteGraph.from_edges([("u", "v")])) == 1
+
+    def test_complete_bipartite(self):
+        assert degeneracy(complete_bipartite(4, 7)) == 4
+        assert degeneracy(complete_bipartite(7, 4)) == 4
+
+    def test_star_heavy_graph_has_small_degeneracy(self):
+        # Huge hub degrees but tiny dense blocks: δ stays at the block size.
+        graph = star_heavy_graph(hub_degree=200, num_blocks=4, block_size=3, seed=1)
+        assert degeneracy(graph) == 3
+
+    def test_matches_slow_reference(self, random_graph):
+        assert degeneracy(random_graph) == degeneracy_by_peeling(random_graph)
+
+    def test_delta_delta_core_nonempty_and_delta_plus_one_empty(self, random_graph):
+        delta = degeneracy(random_graph)
+        assert abcore_vertices(random_graph, delta, delta)
+        assert not abcore_vertices(random_graph, delta + 1, delta + 1)
+
+    def test_upper_bound_sqrt_m(self, random_graph):
+        assert degeneracy(random_graph) <= degeneracy_upper_bound(random_graph)
+
+    def test_upper_bound_of_empty_graph(self):
+        assert degeneracy_upper_bound(BipartiteGraph()) == 0
+
+    def test_paper_example(self):
+        assert degeneracy(paper_example_graph()) == 4

@@ -1,0 +1,115 @@
+"""Unit tests for the degeneracy-bounded index Iδ and the query Qopt."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition.abcore import abcore_vertices
+from repro.decomposition.degeneracy import degeneracy
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
+from repro.graph.bipartite import Side, lower, upper
+from repro.graph.generators import star_heavy_graph
+from repro.index.basic_index import BasicIndex
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.index.queries import online_community_query
+
+from tests.reference import assert_same_graph
+
+
+class TestConstruction:
+    def test_delta(self, random_graph):
+        assert DegeneracyIndex(random_graph).delta == degeneracy(random_graph)
+
+    def test_stats(self, tiny_graph):
+        stats = DegeneracyIndex(tiny_graph).stats()
+        assert stats.name == "Idelta"
+        assert stats.entries > 0
+        assert stats.extra["delta"] == degeneracy(tiny_graph)
+
+    def test_smaller_than_basic_index_on_hub_graph(self):
+        # The motivating scenario of Section III-B: hubs inflate Iα_bs while Iδ
+        # stays proportional to δ·m.
+        graph = star_heavy_graph(hub_degree=80, num_blocks=4, block_size=3, seed=2)
+        delta_stats = DegeneracyIndex(graph).stats()
+        basic_stats = BasicIndex(graph, "alpha").stats()
+        assert delta_stats.entries < basic_stats.entries
+
+    def test_empty_graph(self):
+        from repro.graph.bipartite import BipartiteGraph
+
+        index = DegeneracyIndex(BipartiteGraph())
+        assert index.delta == 0
+        with pytest.raises(InvalidParameterError):
+            index.community(upper("u"), 1, 1)
+
+
+class TestMembership:
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 2), (1, 3), (3, 1), (2, 3), (3, 2)])
+    def test_contains_matches_core(self, random_graph, alpha, beta):
+        index = DegeneracyIndex(random_graph)
+        core = abcore_vertices(random_graph, alpha, beta)
+        for vertex in random_graph.vertices():
+            assert index.contains(vertex, alpha, beta) == (vertex in core)
+
+    def test_vertices_in_core(self, random_graph):
+        index = DegeneracyIndex(random_graph)
+        assert set(index.vertices_in_core(2, 2)) == abcore_vertices(random_graph, 2, 2)
+        delta = index.delta
+        assert index.vertices_in_core(delta + 1, delta + 1) == []
+
+
+class TestQopt:
+    def test_paper_example_22(self, paper_graph):
+        index = DegeneracyIndex(paper_graph)
+        community = index.community(upper("u3"), 2, 2)
+        assert community.num_edges == 16
+        assert set(community.upper_labels()) == {"u1", "u2", "u3", "u4"}
+
+    def test_paper_example_33(self, paper_graph):
+        index = DegeneracyIndex(paper_graph)
+        community = index.community(upper("u1"), 3, 3)
+        # Example 3 of the paper: the (3,3)-community of u1 is the 3x3 block
+        # plus u1's edges into it... the block on {u1,u2,u3,u4} x {v1,v2,v3}
+        # intersected with degree constraints.
+        for u in community.upper_labels():
+            assert community.degree(Side.UPPER, u) >= 3
+        for v in community.lower_labels():
+            assert community.degree(Side.LOWER, v) >= 3
+
+    def test_outside_core_raises(self, tiny_graph):
+        index = DegeneracyIndex(tiny_graph)
+        with pytest.raises(EmptyCommunityError):
+            index.community(upper("u3"), 2, 2)
+
+    def test_thresholds_above_delta_raise_empty(self, random_graph):
+        index = DegeneracyIndex(random_graph)
+        delta = index.delta
+        some_vertex = next(random_graph.vertices())
+        with pytest.raises(EmptyCommunityError):
+            index.community(some_vertex, delta + 1, delta + 1)
+
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 2), (1, 4), (4, 1), (2, 3), (3, 2)])
+    def test_matches_online_query_everywhere(self, random_graph, alpha, beta):
+        index = DegeneracyIndex(random_graph)
+        for vertex in random_graph.vertices():
+            try:
+                expected = online_community_query(random_graph, vertex, alpha, beta)
+            except EmptyCommunityError:
+                with pytest.raises(EmptyCommunityError):
+                    index.community(vertex, alpha, beta)
+                continue
+            assert_same_graph(index.community(vertex, alpha, beta), expected)
+
+    def test_alpha_equals_beta_uses_alpha_side(self, two_block_graph):
+        # α == β must route through the α half (the β half stores strictly
+        # greater offsets and would miss ties); the answer must match Qo.
+        index = DegeneracyIndex(two_block_graph)
+        community = index.community(upper("a0"), 3, 3)
+        expected = online_community_query(two_block_graph, upper("a0"), 3, 3)
+        assert_same_graph(community, expected)
+
+    def test_lower_side_query(self, two_block_graph):
+        index = DegeneracyIndex(two_block_graph)
+        community = index.community(lower("y2"), 2, 3)
+        expected = online_community_query(two_block_graph, lower("y2"), 2, 3)
+        assert_same_graph(community, expected)

@@ -1,0 +1,90 @@
+"""Unit tests for SCS-Expand (Algorithm 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Side, upper
+from repro.index.queries import online_community_query
+from repro.search.expand import expand_over_pool, scs_expand
+from repro.search.peel import scs_peel
+
+from tests.reference import assert_same_graph
+
+
+class TestExpandOnKnownGraphs:
+    def test_paper_example(self, paper_graph):
+        community = online_community_query(paper_graph, upper("u3"), 2, 2)
+        result = scs_expand(community, upper("u3"), 2, 2)
+        assert result.edge_set() == {("u3", "v1"), ("u3", "v2"), ("u4", "v1"), ("u4", "v2")}
+
+    def test_two_block_graph(self, two_block_graph):
+        community = online_community_query(two_block_graph, upper("b1"), 2, 2)
+        result = scs_expand(community, upper("b1"), 2, 2)
+        assert set(result.upper_labels()) == {"b0", "b1", "b2"}
+        assert result.significance() == 3.0
+
+    def test_all_equal_weights_shortcut(self):
+        graph = BipartiteGraph.from_edges(
+            [(f"u{i}", f"v{j}", 1.5) for i in range(3) for j in range(3)]
+        )
+        community = online_community_query(graph, upper("u1"), 3, 3)
+        result = scs_expand(community, upper("u1"), 3, 3)
+        assert result.edge_set() == community.edge_set()
+
+    def test_invalid_epsilon(self, two_block_graph):
+        community = online_community_query(two_block_graph, upper("a1"), 2, 2)
+        with pytest.raises(InvalidParameterError):
+            scs_expand(community, upper("a1"), 2, 2, epsilon=1.0)
+
+    @pytest.mark.parametrize("epsilon", [1.5, 2.0, 4.0])
+    def test_epsilon_does_not_change_answer(self, two_block_graph, epsilon):
+        community = online_community_query(two_block_graph, upper("a2"), 2, 2)
+        expected = scs_peel(community, upper("a2"), 2, 2)
+        actual = scs_expand(community, upper("a2"), 2, 2, epsilon=epsilon)
+        assert_same_graph(actual, expected)
+
+    def test_does_not_mutate_input(self, paper_graph):
+        community = online_community_query(paper_graph, upper("u3"), 2, 2)
+        before = community.copy()
+        scs_expand(community, upper("u3"), 2, 2)
+        assert community.same_structure(before)
+
+    def test_pool_without_valid_community_raises(self):
+        # A path u0-v0-u1 cannot satisfy (2,2) anywhere.
+        pool = BipartiteGraph.from_edges([("u0", "v0", 3.0), ("u1", "v0", 1.0)])
+        with pytest.raises(InvalidParameterError):
+            expand_over_pool(pool, upper("u0"), 2, 2)
+
+
+class TestExpandMatchesPeel:
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 2), (2, 3), (3, 2), (3, 3)])
+    def test_agreement_on_random_graphs(self, random_graph, alpha, beta):
+        checked = 0
+        for vertex in random_graph.vertices():
+            try:
+                community = online_community_query(random_graph, vertex, alpha, beta)
+            except Exception:
+                continue
+            expected = scs_peel(community, vertex, alpha, beta)
+            actual = scs_expand(community, vertex, alpha, beta)
+            assert_same_graph(actual, expected)
+            checked += 1
+            if checked >= 3:
+                break
+
+    def test_result_constraints(self, uniform_random_graph):
+        for vertex in uniform_random_graph.vertices():
+            try:
+                community = online_community_query(uniform_random_graph, vertex, 2, 2)
+            except Exception:
+                continue
+            result = scs_expand(community, vertex, 2, 2)
+            assert result.is_connected()
+            assert result.has_vertex(vertex.side, vertex.label)
+            for u in result.upper_labels():
+                assert result.degree(Side.UPPER, u) >= 2
+            for v in result.lower_labels():
+                assert result.degree(Side.LOWER, v) >= 2
+            break

@@ -1,0 +1,127 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import Side
+from repro.graph.generators import (
+    complete_bipartite,
+    paper_example_graph,
+    planted_community_graph,
+    power_law_bipartite,
+    random_bipartite,
+    star_heavy_graph,
+)
+
+
+class TestCompleteBipartite:
+    def test_edge_count(self):
+        graph = complete_bipartite(3, 4)
+        assert graph.num_edges == 12
+        assert graph.num_upper == 3
+        assert graph.num_lower == 4
+
+    def test_all_degrees_equal(self):
+        graph = complete_bipartite(3, 5)
+        assert all(graph.degree(Side.UPPER, u) == 5 for u in graph.upper_labels())
+        assert all(graph.degree(Side.LOWER, v) == 3 for v in graph.lower_labels())
+
+
+class TestRandomBipartite:
+    def test_exact_edge_count(self):
+        graph = random_bipartite(10, 10, 40, seed=1)
+        assert graph.num_edges == 40
+
+    def test_deterministic_for_fixed_seed(self):
+        a = random_bipartite(10, 10, 30, seed=3)
+        b = random_bipartite(10, 10, 30, seed=3)
+        assert a.edge_set() == b.edge_set()
+
+    def test_different_seeds_differ(self):
+        a = random_bipartite(10, 10, 30, seed=3)
+        b = random_bipartite(10, 10, 30, seed=4)
+        assert a.edge_set() != b.edge_set()
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            random_bipartite(2, 2, 5, seed=1)
+
+
+class TestPowerLawBipartite:
+    def test_reaches_requested_scale(self):
+        graph = power_law_bipartite(50, 50, 500, seed=2)
+        # Stub matching may collapse a few multi-edges but stays close.
+        assert graph.num_edges >= 400
+        assert graph.num_upper <= 50
+        assert graph.num_lower <= 50
+
+    def test_every_vertex_has_an_edge(self):
+        graph = power_law_bipartite(30, 30, 300, seed=2)
+        for vertex in graph.vertices():
+            assert graph.degree_of(vertex) >= 1
+
+    def test_skewed_degrees(self):
+        graph = power_law_bipartite(100, 100, 1000, exponent_upper=1.2, seed=7)
+        degrees = sorted(graph.degrees(Side.UPPER).values(), reverse=True)
+        # The head of a Zipfian degree sequence towers over the median.
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_deterministic(self):
+        a = power_law_bipartite(20, 20, 100, seed=11)
+        b = power_law_bipartite(20, 20, 100, seed=11)
+        assert a.edge_set() == b.edge_set()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(InvalidParameterError):
+            power_law_bipartite(0, 10, 10)
+
+
+class TestPlantedCommunity:
+    def test_returns_planted_labels(self):
+        graph, planted_upper, planted_lower = planted_community_graph(
+            5, 5, 20, 20, 60, seed=3
+        )
+        assert len(planted_upper) == 5
+        assert len(planted_lower) == 5
+        for label in planted_upper:
+            assert graph.has_vertex(Side.UPPER, label)
+
+    def test_planted_block_is_dense(self):
+        graph, planted_upper, planted_lower = planted_community_graph(
+            6, 6, 30, 30, 80, community_density=1.0, seed=3
+        )
+        for u in planted_upper:
+            planted_nbrs = set(graph.neighbors(Side.UPPER, u)) & set(planted_lower)
+            assert len(planted_nbrs) == 6
+
+    def test_graph_is_connected_via_bridges(self):
+        graph, _, _ = planted_community_graph(5, 5, 20, 20, 60, bridge_edges=15, seed=3)
+        assert graph.is_connected()
+
+
+class TestPaperExample:
+    def test_matches_figure_2_shape(self):
+        graph = paper_example_graph()
+        assert graph.degree(Side.UPPER, "u1") == 999
+        assert graph.degree(Side.LOWER, "v1") == 999
+        assert graph.degree(Side.UPPER, "u3") == 4
+
+    def test_weight_rule(self):
+        graph = paper_example_graph()
+        # w(u, v) = 5 * u.id - v.id
+        assert graph.weight("u3", "v2") == 13.0
+        assert graph.weight("u1", "v4") == 1.0
+
+
+class TestStarHeavy:
+    def test_hub_degrees(self):
+        graph = star_heavy_graph(hub_degree=50, num_blocks=3, seed=1)
+        assert graph.degree(Side.UPPER, "hub_u") >= 50
+        assert graph.degree(Side.LOWER, "hub_v") >= 50
+
+    def test_contains_blocks(self):
+        graph = star_heavy_graph(hub_degree=10, num_blocks=2, block_size=3, seed=1)
+        assert graph.has_edge("b0_u0", "b0_v0")
+        assert graph.has_edge("b1_u2", "b1_v2")

@@ -1,0 +1,72 @@
+"""Unit tests for the unipartite k-core decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition.kcore import core_numbers, max_core_number
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex, lower, upper
+from repro.graph.generators import complete_bipartite, paper_example_graph
+
+
+def naive_core_numbers(graph: BipartiteGraph):
+    """Reference: repeatedly compute the k-core by brute force."""
+    result = {}
+    k = 0
+    remaining = graph.copy()
+    while remaining.num_vertices:
+        k += 1
+        # vertices NOT in the k-core get core number k-1
+        work = remaining.copy()
+        changed = True
+        while changed:
+            changed = False
+            for vertex in list(work.vertices()):
+                if work.degree_of(vertex) < k:
+                    work.remove_vertex(vertex.side, vertex.label)
+                    changed = True
+        survivors = set(work.vertices())
+        for vertex in list(remaining.vertices()):
+            if vertex not in survivors:
+                result[vertex] = k - 1
+                remaining.remove_vertex(vertex.side, vertex.label)
+    return result
+
+
+class TestCoreNumbers:
+    def test_empty_graph(self):
+        assert core_numbers(BipartiteGraph()) == {}
+        assert max_core_number(BipartiteGraph()) == 0
+
+    def test_single_edge(self):
+        graph = BipartiteGraph.from_edges([("u", "v")])
+        numbers = core_numbers(graph)
+        assert numbers[upper("u")] == 1
+        assert numbers[lower("v")] == 1
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite(3, 5)
+        numbers = core_numbers(graph)
+        assert max(numbers.values()) == 3
+        assert numbers[upper("u0")] == 3
+        assert numbers[lower("v4")] == 3
+
+    def test_star_graph(self):
+        graph = BipartiteGraph.from_edges([("hub", f"v{i}") for i in range(10)])
+        numbers = core_numbers(graph)
+        assert numbers[upper("hub")] == 1
+        assert all(numbers[lower(f"v{i}")] == 1 for i in range(10))
+
+    def test_matches_naive_on_random_graphs(self, random_graph):
+        assert core_numbers(random_graph) == naive_core_numbers(random_graph)
+
+    def test_matches_naive_on_tiny(self, tiny_graph):
+        assert core_numbers(tiny_graph) == naive_core_numbers(tiny_graph)
+
+    def test_paper_example_max_core(self):
+        # The 4x4 dense block gives a maximum core number of 4.
+        assert max_core_number(paper_example_graph()) == 4
+
+    def test_every_vertex_assigned(self, random_graph):
+        numbers = core_numbers(random_graph)
+        assert set(numbers) == set(random_graph.vertices())

@@ -1,0 +1,72 @@
+"""Unit tests for the user-facing ``python -m repro`` command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+from repro.graph.generators import paper_example_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "paper.txt"
+    write_edge_list(paper_example_graph(), path)
+    return path
+
+
+class TestInfo:
+    def test_info_on_dataset(self, capsys):
+        assert main(["info", "--dataset", "BS", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "degeneracy" in out
+        assert "alpha_max" in out
+
+    def test_info_on_edge_file(self, capsys, edge_file):
+        assert main(["info", "--edges", str(edge_file)]) == 0
+        out = capsys.readouterr().out
+        assert "999 / 999 / 2006" in out
+
+
+class TestSearch:
+    def test_search_with_explicit_query(self, capsys, edge_file):
+        code = main(
+            ["search", "--edges", str(edge_file), "--alpha", "2", "--beta", "2",
+             "--query-upper", "u3", "--method", "peel"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "significant (2,2)-community" in out
+        assert "u3, u4" in out
+
+    def test_search_picks_query_automatically(self, capsys):
+        code = main(["search", "--dataset", "GH", "--scale", "0.2", "--alpha", "2", "--beta", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no query vertex given" in out
+        assert "significant (2,2)-community" in out
+
+    def test_search_query_outside_core_fails_cleanly(self, capsys, edge_file):
+        code = main(
+            ["search", "--edges", str(edge_file), "--alpha", "3", "--beta", "3",
+             "--query-upper", "u999"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_search_impossible_thresholds_fail_cleanly(self, capsys, edge_file):
+        code = main(
+            ["search", "--edges", str(edge_file), "--alpha", "50", "--beta", "50"]
+        )
+        assert code == 1
+        assert "choose smaller thresholds" in capsys.readouterr().err
+
+    def test_lower_side_query(self, capsys, edge_file):
+        code = main(
+            ["search", "--edges", str(edge_file), "--alpha", "2", "--beta", "2",
+             "--query-lower", "v2", "--max-print", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "more edges" in out or "weight" in out

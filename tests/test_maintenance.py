@@ -1,0 +1,148 @@
+"""Unit tests for index maintenance under edge insertions and removals."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import EmptyCommunityError
+from repro.graph.bipartite import BipartiteGraph, Side, upper
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.index.maintenance import DynamicDegeneracyIndex
+
+from tests.reference import assert_same_graph
+
+
+def assert_index_equivalent(dynamic: DynamicDegeneracyIndex, graph: BipartiteGraph) -> None:
+    """The maintained index must answer every query like a fresh rebuild."""
+    fresh = DegeneracyIndex(graph)
+    assert dynamic.delta == fresh.delta
+    delta = max(fresh.delta, 1)
+    probes = [(1, 1), (2, 2), (delta, delta), (1, delta), (delta, 1), (2, 3), (3, 2)]
+    for alpha, beta in probes:
+        for vertex in graph.vertices():
+            try:
+                expected = fresh.community(vertex, alpha, beta)
+            except EmptyCommunityError:
+                with pytest.raises(EmptyCommunityError):
+                    dynamic.community(vertex, alpha, beta)
+                continue
+            assert_same_graph(dynamic.community(vertex, alpha, beta), expected)
+
+
+class TestInsertion:
+    def test_insert_edge_into_tiny_graph(self, tiny_graph):
+        dynamic = DynamicDegeneracyIndex(tiny_graph)
+        working = tiny_graph.copy()
+        dynamic.insert_edge("u3", "v1", 2.0)
+        working.add_edge("u3", "v1", 2.0)
+        assert_index_equivalent(dynamic, working)
+
+    def test_insert_increases_degeneracy(self):
+        # A 2x2 block becomes a 3x3 block one edge at a time.
+        graph = BipartiteGraph.from_edges(
+            [("u0", "v0", 1), ("u0", "v1", 1), ("u1", "v0", 1), ("u1", "v1", 1)]
+        )
+        dynamic = DynamicDegeneracyIndex(graph)
+        assert dynamic.delta == 2
+        working = graph.copy()
+        for u, v in [("u0", "v2"), ("u1", "v2"), ("u2", "v0"), ("u2", "v1"), ("u2", "v2")]:
+            dynamic.insert_edge(u, v, 1.0)
+            working.add_edge(u, v, 1.0)
+        assert dynamic.delta == 3
+        assert_index_equivalent(dynamic, working)
+
+    def test_reweighting_existing_edge(self, two_block_graph):
+        dynamic = DynamicDegeneracyIndex(two_block_graph)
+        working = two_block_graph.copy()
+        dynamic.insert_edge("a0", "x0", 9.0)
+        working.add_edge("a0", "x0", 9.0)
+        assert_index_equivalent(dynamic, working)
+
+    def test_insert_connecting_two_components(self):
+        graph = BipartiteGraph.from_edges(
+            [("a", "x", 1), ("a", "y", 1), ("b", "x", 1), ("b", "y", 1),
+             ("c", "p", 1), ("c", "q", 1), ("d", "p", 1), ("d", "q", 1)]
+        )
+        dynamic = DynamicDegeneracyIndex(graph)
+        working = graph.copy()
+        dynamic.insert_edge("a", "p", 1.0)
+        working.add_edge("a", "p", 1.0)
+        assert_index_equivalent(dynamic, working)
+
+
+class TestRemoval:
+    def test_remove_edge_from_tiny_graph(self, tiny_graph):
+        dynamic = DynamicDegeneracyIndex(tiny_graph)
+        working = tiny_graph.copy()
+        dynamic.remove_edge("u0", "v0")
+        working.remove_edge("u0", "v0")
+        working.discard_isolated()
+        assert_index_equivalent(dynamic, working)
+
+    def test_remove_decreases_degeneracy(self):
+        graph = BipartiteGraph.from_edges(
+            [(f"u{i}", f"v{j}", 1.0) for i in range(3) for j in range(3)]
+        )
+        dynamic = DynamicDegeneracyIndex(graph)
+        assert dynamic.delta == 3
+        dynamic.remove_edge("u0", "v0")
+        assert dynamic.delta == 2
+
+    def test_remove_bridge_splits_components(self, two_block_graph):
+        dynamic = DynamicDegeneracyIndex(two_block_graph)
+        working = two_block_graph.copy()
+        dynamic.remove_edge("a0", "y0")
+        working.remove_edge("a0", "y0")
+        working.discard_isolated()
+        assert_index_equivalent(dynamic, working)
+
+    def test_remove_pendant_edge(self, tiny_graph):
+        dynamic = DynamicDegeneracyIndex(tiny_graph)
+        working = tiny_graph.copy()
+        dynamic.remove_edge("u3", "v0")
+        working.remove_edge("u3", "v0")
+        working.discard_isolated()
+        assert_index_equivalent(dynamic, working)
+
+
+class TestRandomisedUpdateSequences:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_mixed_update_stream_stays_consistent(self, seed):
+        rng = random.Random(seed)
+        graph = BipartiteGraph.from_edges(
+            [
+                (f"u{rng.randrange(8)}", f"v{rng.randrange(8)}", float(rng.randint(1, 9)))
+                for _ in range(40)
+            ]
+        )
+        dynamic = DynamicDegeneracyIndex(graph)
+        working = graph.copy()
+        for _ in range(12):
+            if rng.random() < 0.55 or working.num_edges < 5:
+                u, v = f"u{rng.randrange(8)}", f"v{rng.randrange(8)}"
+                w = float(rng.randint(1, 9))
+                dynamic.insert_edge(u, v, w)
+                working.add_edge(u, v, w)
+            else:
+                u, v, _ = rng.choice(list(working.edges()))
+                dynamic.remove_edge(u, v)
+                working.remove_edge(u, v)
+                working.discard_isolated()
+        assert_index_equivalent(dynamic, working)
+
+    def test_stats_track_updates(self, tiny_graph):
+        dynamic = DynamicDegeneracyIndex(tiny_graph)
+        dynamic.insert_edge("u3", "v1", 1.0)
+        dynamic.remove_edge("u3", "v1")
+        stats = dynamic.stats()
+        assert stats.name == "Idelta-dynamic"
+        assert stats.extra["updates_applied"] == 2.0
+        assert stats.extra["maintenance_seconds"] >= 0.0
+
+    def test_original_graph_not_mutated(self, tiny_graph):
+        before = tiny_graph.copy()
+        dynamic = DynamicDegeneracyIndex(tiny_graph)
+        dynamic.insert_edge("u3", "v2", 4.0)
+        assert tiny_graph.same_structure(before)

@@ -1,0 +1,100 @@
+"""Unit tests for the community quality metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import complete_bipartite
+from repro.models.metrics import (
+    average_weight,
+    bipartite_density,
+    community_stats,
+    dislike_user_fraction,
+    items_per_user,
+    jaccard_similarity,
+    minimum_weight,
+)
+
+
+class TestDensity:
+    def test_complete_bipartite(self):
+        graph = complete_bipartite(4, 9)
+        assert bipartite_density(graph) == pytest.approx(36 / math.sqrt(36))
+
+    def test_empty_graph(self):
+        assert bipartite_density(BipartiteGraph()) == 0.0
+
+    def test_sparse_graph_is_less_dense(self):
+        dense = complete_bipartite(3, 3)
+        sparse = BipartiteGraph.from_edges([("u0", "v0"), ("u1", "v1"), ("u2", "v2")])
+        assert bipartite_density(dense) > bipartite_density(sparse)
+
+
+class TestWeightAggregates:
+    def test_average_and_minimum(self, tiny_graph):
+        assert minimum_weight(tiny_graph) == 0.5
+        assert average_weight(tiny_graph) == pytest.approx((sum(range(1, 10)) + 0.5) / 10)
+
+    def test_empty_graph_defaults(self):
+        assert average_weight(BipartiteGraph()) == 0.0
+        assert minimum_weight(BipartiteGraph()) == 0.0
+
+    def test_items_per_user(self, tiny_graph):
+        assert items_per_user(tiny_graph) == pytest.approx(10 / 4)
+        assert items_per_user(BipartiteGraph()) == 0.0
+
+
+class TestDislikeUsers:
+    def test_all_users_satisfied(self):
+        graph = complete_bipartite(3, 5, weight=5.0)
+        assert dislike_user_fraction(graph, alpha=5) == 0.0
+
+    def test_all_users_dislike(self):
+        graph = complete_bipartite(3, 5, weight=2.0)
+        assert dislike_user_fraction(graph, alpha=5) == 1.0
+
+    def test_mixed_population(self):
+        graph = BipartiteGraph()
+        # fan gives three good ratings; casual gives one good rating.
+        for j in range(3):
+            graph.add_edge("fan", f"v{j}", 5.0)
+        graph.add_edge("casual", "v0", 5.0)
+        graph.add_edge("casual", "v1", 1.0)
+        # alpha=3 -> requires at least 1.8 good ratings.
+        assert dislike_user_fraction(graph, alpha=3) == pytest.approx(0.5)
+
+    def test_empty_graph(self):
+        assert dislike_user_fraction(BipartiteGraph(), alpha=3) == 0.0
+
+
+class TestJaccard:
+    def test_identical_graphs(self, tiny_graph):
+        assert jaccard_similarity(tiny_graph, tiny_graph.copy()) == 1.0
+
+    def test_disjoint_graphs(self):
+        a = BipartiteGraph.from_edges([("a", "x")])
+        b = BipartiteGraph.from_edges([("b", "y")])
+        assert jaccard_similarity(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = BipartiteGraph.from_edges([("u", "x"), ("u", "y")])
+        b = BipartiteGraph.from_edges([("u", "x"), ("w", "x")])
+        # vertices: a={u,x,y}, b={u,x,w}; intersection 2, union 4.
+        assert jaccard_similarity(a, b) == pytest.approx(0.5)
+
+    def test_two_empty_graphs(self):
+        assert jaccard_similarity(BipartiteGraph(), BipartiteGraph()) == 1.0
+
+
+class TestCommunityStats:
+    def test_table2_row_shape(self, tiny_graph):
+        stats = community_stats("SC", tiny_graph, alpha=2, reference=tiny_graph)
+        row = stats.as_dict()
+        assert row["model"] == "SC"
+        assert row["|U|"] == 4
+        assert row["|M|"] == 3
+        assert row["Sim%"] == 100.0
+        assert set(row) == {"model", "|U|", "|M|", "Ravg", "Rmin", "Mavg", "density", "dislike%", "Sim%"}

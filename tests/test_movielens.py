@@ -1,0 +1,81 @@
+"""Unit tests for the MovieLens-like effectiveness dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.movielens import genre_subgraph, movielens_like
+from repro.graph.bipartite import Side
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.search.peel import scs_peel
+
+
+class TestGeneration:
+    def test_shape(self, movielens_data):
+        graph = movielens_data.graph
+        assert graph.num_upper == 25 + 80
+        assert graph.num_edges > 300
+        assert movielens_data.query.side is Side.UPPER
+
+    def test_deterministic(self):
+        a = movielens_like(num_fans=10, num_fan_movies=8, num_casual_users=20, seed=1)
+        b = movielens_like(num_fans=10, num_fan_movies=8, num_casual_users=20, seed=1)
+        assert a.graph.same_structure(b.graph)
+
+    def test_genres_assigned(self, movielens_data):
+        genres = set(movielens_data.genres.values())
+        assert genres == {"comedy", "drama"}
+        assert len(movielens_data.movies_of_genre("comedy")) > 0
+
+    def test_fan_ratings_are_good(self, movielens_data):
+        graph = movielens_data.graph
+        fan = movielens_data.fan_users[0]
+        fan_movie_set = set(movielens_data.fan_movies)
+        ratings = [
+            w
+            for movie, w in graph.neighbors(Side.UPPER, fan).items()
+            if movie in fan_movie_set
+        ]
+        assert ratings and all(r >= 4.0 for r in ratings)
+
+    def test_ratings_are_half_star_scale(self, movielens_data):
+        assert all((w * 2).is_integer() for w in movielens_data.graph.edge_weights())
+
+
+class TestGenreSubgraph:
+    def test_only_requested_genre(self, movielens_data):
+        comedy = genre_subgraph(movielens_data, "comedy")
+        comedy_movies = movielens_data.movies_of_genre("comedy")
+        assert set(comedy.lower_labels()) <= comedy_movies
+        assert comedy.num_edges > 0
+
+    def test_unknown_genre_is_empty(self, movielens_data):
+        assert genre_subgraph(movielens_data, "western").num_edges == 0
+
+
+class TestEffectivenessPremise:
+    """The planted structure must make the paper's qualitative claims testable."""
+
+    def test_significant_community_recovers_fans(self, movielens_data):
+        comedy = genre_subgraph(movielens_data, "comedy")
+        index = DegeneracyIndex(comedy)
+        delta = index.delta
+        alpha = beta = max(2, int(0.6 * delta))
+        community = index.community(movielens_data.query, alpha, beta)
+        result = scs_peel(community, movielens_data.query, alpha, beta)
+        users = set(result.upper_labels())
+        fans = set(movielens_data.fan_users)
+        # The significant community is dominated by planted fans.
+        assert len(users & fans) / max(1, len(users)) > 0.9
+        # And its minimum rating is a good rating.
+        assert result.significance() >= 4.0
+
+    def test_core_community_is_larger_and_noisier(self, movielens_data):
+        comedy = genre_subgraph(movielens_data, "comedy")
+        index = DegeneracyIndex(comedy)
+        delta = index.delta
+        alpha = beta = max(2, int(0.6 * delta))
+        community = index.community(movielens_data.query, alpha, beta)
+        result = scs_peel(community, movielens_data.query, alpha, beta)
+        assert community.num_edges >= result.num_edges
+        assert community.significance() <= result.significance()

@@ -1,0 +1,108 @@
+"""Unit tests for α-offsets and β-offsets (Definition 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition.abcore import abcore_vertices
+from repro.decomposition.degeneracy import degeneracy
+from repro.decomposition.offsets import (
+    alpha_offsets,
+    beta_offsets,
+    max_alpha,
+    max_beta,
+    offset_tables,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import Side, lower, upper
+from repro.graph.generators import complete_bipartite, paper_example_graph
+
+
+class TestMaxThresholds:
+    def test_max_alpha_is_max_upper_degree(self, tiny_graph):
+        assert max_alpha(tiny_graph) == 3
+        assert max_beta(tiny_graph) == 4
+
+    def test_paper_example(self):
+        graph = paper_example_graph()
+        assert max_alpha(graph) == 999
+        assert max_beta(graph) == 999
+
+
+class TestOffsetsOnKnownGraphs:
+    def test_complete_bipartite_offsets(self):
+        graph = complete_bipartite(3, 4)
+        sa = alpha_offsets(graph, 2)
+        # With α=2 every vertex survives up to β=3 (the number of upper vertices).
+        assert sa[upper("u0")] == 3
+        assert sa[lower("v0")] == 3
+
+    def test_alpha_offset_zero_outside_alpha_one_core(self, tiny_graph):
+        sa = alpha_offsets(tiny_graph, 2)
+        # u3 has degree 1 < 2 so it is not even in the (2,1)-core.
+        assert sa[upper("u3")] == 0
+        assert sa[upper("u0")] >= 1
+
+    def test_tiny_graph_alpha2_offsets(self, tiny_graph):
+        sa = alpha_offsets(tiny_graph, 2)
+        # The 3x3 block survives up to β=3 when α=2.
+        assert sa[upper("u0")] == 3
+        assert sa[lower("v1")] == 3
+
+    def test_beta_offsets_symmetric_to_alpha(self, tiny_graph):
+        sb = beta_offsets(tiny_graph, 2)
+        # With β=2 the 3x3 block survives up to α=3 and v0 keeps that value.
+        assert sb[lower("v0")] == 3
+        # u3 has a single edge, so it only ever reaches α=1.
+        assert sb[upper("u3")] == 1
+
+    def test_invalid_threshold(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            alpha_offsets(tiny_graph, 0)
+        with pytest.raises(InvalidParameterError):
+            beta_offsets(tiny_graph, -1)
+
+
+class TestOffsetCoreConsistency:
+    """The defining equivalence: v ∈ (α,β)-core  ⟺  sa(v,α) ≥ β  ⟺  sb(v,β) ≥ α."""
+
+    @pytest.mark.parametrize("alpha", [1, 2, 3])
+    def test_alpha_offsets_match_cores(self, random_graph, alpha):
+        sa = alpha_offsets(random_graph, alpha)
+        betas = sorted({off for off in sa.values() if off > 0}) or [1]
+        for beta in betas[: 4]:
+            core = abcore_vertices(random_graph, alpha, beta)
+            predicted = {v for v, off in sa.items() if off >= beta}
+            assert predicted == core
+
+    @pytest.mark.parametrize("beta", [1, 2, 3])
+    def test_beta_offsets_match_cores(self, random_graph, beta):
+        sb = beta_offsets(random_graph, beta)
+        alphas = sorted({off for off in sb.values() if off > 0}) or [1]
+        for alpha in alphas[: 4]:
+            core = abcore_vertices(random_graph, alpha, beta)
+            predicted = {v for v, off in sb.items() if off >= alpha}
+            assert predicted == core
+
+    def test_monotone_in_alpha(self, random_graph):
+        # Larger α can only shrink the α-offset of every vertex.
+        sa1 = alpha_offsets(random_graph, 1)
+        sa2 = alpha_offsets(random_graph, 2)
+        for vertex, offset in sa2.items():
+            assert offset <= sa1[vertex]
+
+    def test_degeneracy_visible_in_offsets(self, random_graph):
+        delta = degeneracy(random_graph)
+        sa = alpha_offsets(random_graph, delta)
+        assert max(sa.values()) >= delta
+
+
+class TestOffsetTables:
+    def test_tables_cover_requested_levels(self, tiny_graph):
+        tables = offset_tables(tiny_graph, 3, Side.UPPER)
+        assert set(tables) == {1, 2, 3}
+        assert tables[2] == alpha_offsets(tiny_graph, 2)
+
+    def test_lower_side_tables(self, tiny_graph):
+        tables = offset_tables(tiny_graph, 2, Side.LOWER)
+        assert tables[2] == beta_offsets(tiny_graph, 2)

@@ -1,0 +1,77 @@
+"""Unit tests for the online query algorithm Qo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
+from repro.graph.bipartite import Side, lower, upper
+from repro.index.queries import online_community_query
+
+from tests.reference import assert_same_graph, naive_community
+
+
+class TestOnlineQuery:
+    def test_paper_example(self, paper_graph):
+        community = online_community_query(paper_graph, upper("u3"), 2, 2)
+        assert community.num_edges == 16
+        assert set(community.upper_labels()) == {"u1", "u2", "u3", "u4"}
+        assert set(community.lower_labels()) == {"v1", "v2", "v3", "v4"}
+
+    def test_community_weights_copied(self, paper_graph):
+        community = online_community_query(paper_graph, upper("u3"), 2, 2)
+        assert community.weight("u3", "v2") == paper_graph.weight("u3", "v2")
+
+    def test_query_outside_core_raises(self, tiny_graph):
+        with pytest.raises(EmptyCommunityError):
+            online_community_query(tiny_graph, upper("u3"), 2, 2)
+
+    def test_missing_query_vertex_raises(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            online_community_query(tiny_graph, upper("ghost"), 1, 1)
+
+    def test_invalid_thresholds(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            online_community_query(tiny_graph, upper("u0"), 0, 1)
+
+    def test_bridge_joins_blocks_into_one_community(self, two_block_graph):
+        # Both 3x3 blocks satisfy (2,2) and the bridge edge keeps them connected,
+        # so the (2,2)-community of any vertex is the whole graph.
+        community = online_community_query(two_block_graph, upper("a1"), 2, 2)
+        assert community.num_edges == two_block_graph.num_edges
+
+    def test_blocks_split_without_the_bridge(self, two_block_graph):
+        two_block_graph.remove_edge("a0", "y0")
+        community_a = online_community_query(two_block_graph, upper("a1"), 2, 2)
+        community_b = online_community_query(two_block_graph, upper("b1"), 2, 2)
+        assert set(community_a.upper_labels()) == {"a0", "a1", "a2"}
+        assert set(community_b.upper_labels()) == {"b0", "b1", "b2"}
+
+    def test_lower_side_query(self, two_block_graph):
+        two_block_graph.remove_edge("a0", "y0")
+        community = online_community_query(two_block_graph, lower("x0"), 2, 2)
+        assert set(community.lower_labels()) == {"x0", "x1", "x2"}
+
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 2), (2, 3), (3, 2)])
+    def test_matches_naive_reference(self, random_graph, alpha, beta):
+        # Pick any vertex of the naive core as the query.
+        for vertex in random_graph.vertices():
+            expected = naive_community(random_graph, vertex, alpha, beta)
+            if expected is not None:
+                actual = online_community_query(random_graph, vertex, alpha, beta)
+                assert_same_graph(actual, expected)
+                break
+        else:
+            pytest.skip("no vertex in the core for these thresholds")
+
+    def test_degrees_satisfy_constraints(self, random_graph):
+        for vertex in random_graph.vertices():
+            try:
+                community = online_community_query(random_graph, vertex, 2, 2)
+            except EmptyCommunityError:
+                continue
+            for u in community.upper_labels():
+                assert community.degree(Side.UPPER, u) >= 2
+            for v in community.lower_labels():
+                assert community.degree(Side.LOWER, v) >= 2
+            break

@@ -1,0 +1,101 @@
+"""Unit tests for SCS-Peel (Algorithm 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Side, upper
+from repro.index.queries import online_community_query
+from repro.search.peel import scs_peel
+
+from tests.reference import assert_same_graph, naive_significant_community
+
+
+class TestPeelOnKnownGraphs:
+    def test_paper_example(self, paper_graph):
+        community = online_community_query(paper_graph, upper("u3"), 2, 2)
+        result = scs_peel(community, upper("u3"), 2, 2)
+        assert result.edge_set() == {("u3", "v1"), ("u3", "v2"), ("u4", "v1"), ("u4", "v2")}
+        assert result.significance() == 13.0
+
+    def test_two_block_graph(self, two_block_graph):
+        community = online_community_query(two_block_graph, upper("a1"), 2, 2)
+        result = scs_peel(community, upper("a1"), 2, 2)
+        assert set(result.upper_labels()) == {"a0", "a1", "a2"}
+        assert result.significance() == 5.0
+
+    def test_all_equal_weights_returns_whole_community(self):
+        graph = BipartiteGraph.from_edges(
+            [(f"u{i}", f"v{j}", 2.0) for i in range(3) for j in range(3)]
+        )
+        community = online_community_query(graph, upper("u0"), 2, 2)
+        result = scs_peel(community, upper("u0"), 2, 2)
+        assert result.edge_set() == community.edge_set()
+
+    def test_result_satisfies_all_constraints(self, uniform_random_graph):
+        for vertex in uniform_random_graph.vertices():
+            try:
+                community = online_community_query(uniform_random_graph, vertex, 2, 2)
+            except Exception:
+                continue
+            result = scs_peel(community, vertex, 2, 2)
+            assert result.has_vertex(vertex.side, vertex.label)
+            assert result.is_connected()
+            for u in result.upper_labels():
+                assert result.degree(Side.UPPER, u) >= 2
+            for v in result.lower_labels():
+                assert result.degree(Side.LOWER, v) >= 2
+            break
+
+    def test_does_not_mutate_input(self, paper_graph):
+        community = online_community_query(paper_graph, upper("u3"), 2, 2)
+        before = community.copy()
+        scs_peel(community, upper("u3"), 2, 2)
+        assert community.same_structure(before)
+
+    def test_invalid_thresholds(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            scs_peel(tiny_graph, upper("u0"), 0, 1)
+
+    def test_result_name_mentions_parameters(self, paper_graph):
+        community = online_community_query(paper_graph, upper("u3"), 2, 2)
+        result = scs_peel(community, upper("u3"), 2, 2)
+        assert "R(2,2)" in result.name
+
+
+class TestPeelAgainstBruteForce:
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 2), (2, 3), (3, 2)])
+    def test_matches_definition(self, random_graph, alpha, beta):
+        checked = 0
+        for vertex in random_graph.vertices():
+            expected = naive_significant_community(random_graph, vertex, alpha, beta)
+            if expected is None:
+                continue
+            community = online_community_query(random_graph, vertex, alpha, beta)
+            assert_same_graph(scs_peel(community, vertex, alpha, beta), expected)
+            checked += 1
+            if checked >= 3:
+                break
+        if checked == 0:
+            pytest.skip("no vertex inside the core for these thresholds")
+
+    def test_maximality_no_better_threshold(self, uniform_random_graph):
+        # The returned significance must be the best achievable: raising the
+        # threshold any further must kick the query vertex out of the core.
+        from repro.graph.views import weight_threshold_subgraph
+        from tests.reference import naive_abcore
+
+        for vertex in uniform_random_graph.vertices():
+            try:
+                community = online_community_query(uniform_random_graph, vertex, 2, 2)
+            except Exception:
+                continue
+            result = scs_peel(community, vertex, 2, 2)
+            sig = result.significance()
+            higher = sorted({w for w in community.edge_weights() if w > sig})
+            if higher:
+                restricted = weight_threshold_subgraph(community, higher[0])
+                core = naive_abcore(restricted, 2, 2)
+                assert not core.has_vertex(vertex.side, vertex.label)
+            break

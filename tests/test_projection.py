@@ -1,0 +1,116 @@
+"""Unit tests for the one-mode projection baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Side, lower, upper
+from repro.graph.generators import complete_bipartite
+from repro.models.projection import (
+    project,
+    projected_kcore_community,
+    projection_edge_explosion,
+)
+
+
+class TestProject:
+    def test_count_weighting_on_shared_neighbours(self):
+        graph = BipartiteGraph.from_edges(
+            [("a", "x"), ("b", "x"), ("a", "y"), ("b", "y"), ("c", "y")]
+        )
+        projected = project(graph, Side.UPPER, weighting="count")
+        assert projected[("a", "b")] == 2.0  # share x and y
+        assert projected[("a", "c")] == 1.0
+        assert projected[("b", "c")] == 1.0
+
+    def test_newman_weighting_discounts_popular_items(self):
+        graph = BipartiteGraph.from_edges(
+            [("a", "hub"), ("b", "hub"), ("c", "hub"), ("a", "niche"), ("b", "niche")]
+        )
+        projected = project(graph, Side.UPPER, weighting="newman")
+        # hub has degree 3 -> contributes 1/2; niche degree 2 -> contributes 1.
+        assert projected[("a", "b")] == pytest.approx(1.5)
+        assert projected[("a", "c")] == pytest.approx(0.5)
+
+    def test_lower_side_projection(self):
+        graph = complete_bipartite(2, 3)
+        projected = project(graph, Side.LOWER, weighting="count")
+        # Every pair of the 3 lower vertices shares both upper vertices.
+        assert len(projected) == 3
+        assert set(projected.values()) == {2.0}
+
+    def test_degree_one_items_contribute_nothing(self):
+        graph = BipartiteGraph.from_edges([("a", "x"), ("b", "y")])
+        assert project(graph, Side.UPPER) == {}
+
+    def test_invalid_weighting(self):
+        with pytest.raises(InvalidParameterError):
+            project(BipartiteGraph(), Side.UPPER, weighting="exotic")
+
+    def test_edge_explosion_on_hub(self):
+        # One item bought by 20 customers: 20 bipartite edges become 190.
+        graph = BipartiteGraph.from_edges([(f"u{i}", "hub") for i in range(20)])
+        assert projection_edge_explosion(graph, Side.UPPER) == pytest.approx(190 / 20)
+        assert projection_edge_explosion(BipartiteGraph()) == 0.0
+
+
+class TestProjectedCommunity:
+    def test_complete_graph_projection_community(self):
+        graph = complete_bipartite(4, 4, weight=3.0)
+        community = projected_kcore_community(graph, upper("u0"), k=3)
+        assert set(community.upper_labels()) == {"u0", "u1", "u2", "u3"}
+        assert community.num_edges == 16
+
+    def test_query_outside_core_raises(self):
+        graph = BipartiteGraph.from_edges([("a", "x"), ("b", "x")])
+        with pytest.raises(EmptyCommunityError):
+            projected_kcore_community(graph, upper("a"), k=3)
+
+    def test_missing_query_rejected(self):
+        graph = complete_bipartite(2, 2)
+        with pytest.raises(InvalidParameterError):
+            projected_kcore_community(graph, upper("ghost"), k=1)
+        with pytest.raises(InvalidParameterError):
+            projected_kcore_community(graph, upper("u0"), k=0)
+
+    def test_weight_information_is_lost(self):
+        """The drawback the paper highlights: projection ignores edge weights.
+
+        A loosely attached, low-rating user survives the projected k-core as
+        long as it shares items with enough others, whereas the significant
+        community excludes it.
+        """
+        from repro.index.queries import online_community_query
+        from repro.search.peel import scs_peel
+
+        graph = BipartiteGraph(name="weights-matter")
+        for i in range(3):
+            for j in range(3):
+                graph.add_edge(f"fan{i}", f"m{j}", 5.0)
+        # The lurker rated the same three movies, but poorly.
+        for j in range(3):
+            graph.add_edge("lurker", f"m{j}", 1.0)
+
+        projected = projected_kcore_community(graph, upper("fan0"), k=2)
+        assert projected.has_vertex(Side.UPPER, "lurker")
+
+        community = online_community_query(graph, upper("fan0"), 2, 2)
+        significant = scs_peel(community, upper("fan0"), 2, 2)
+        assert not significant.has_vertex(Side.UPPER, "lurker")
+
+    def test_lower_side_query(self):
+        graph = complete_bipartite(3, 3)
+        community = projected_kcore_community(graph, lower("v1"), k=2)
+        assert community.has_vertex(Side.LOWER, "v1")
+        assert community.num_upper == 3
+
+    def test_min_projected_weight_filter(self):
+        graph = BipartiteGraph.from_edges(
+            [("a", "hub"), ("b", "hub"), ("c", "hub"), ("a", "niche"), ("b", "niche")]
+        )
+        # With a weight floor of 1.0 only the (a, b) projected edge survives.
+        community = projected_kcore_community(
+            graph, upper("a"), k=1, min_projected_weight=1.0
+        )
+        assert not community.has_vertex(Side.UPPER, "c")

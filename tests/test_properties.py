@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on the core invariants of the system.
+
+These tests generate arbitrary small weighted bipartite graphs and verify the
+invariants listed in DESIGN.md: core nesting, offset/core consistency,
+degeneracy bounds, index/online agreement and the defining properties of the
+significant (α,β)-community.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition.abcore import abcore_subgraph, abcore_vertices
+from repro.decomposition.degeneracy import degeneracy, degeneracy_upper_bound
+from repro.decomposition.offsets import alpha_offsets, beta_offsets
+from repro.exceptions import EmptyCommunityError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.index.queries import online_community_query
+from repro.search.expand import scs_expand
+from repro.search.peel import scs_peel
+from repro.utils.unionfind import UnionFind
+
+from tests.reference import graph_edge_weights, naive_abcore
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+
+edge_strategy = st.tuples(
+    st.integers(min_value=0, max_value=7),   # upper label
+    st.integers(min_value=0, max_value=7),   # lower label
+    st.integers(min_value=1, max_value=6),   # weight
+)
+
+graph_strategy = st.lists(edge_strategy, min_size=1, max_size=60).map(
+    lambda edges: BipartiteGraph.from_edges(
+        [(f"u{u}", f"v{v}", float(w)) for u, v, w in edges]
+    )
+)
+
+thresholds_strategy = st.tuples(
+    st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4)
+)
+
+default_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------------- #
+# (α,β)-core invariants
+# --------------------------------------------------------------------------- #
+
+
+@default_settings
+@given(graph=graph_strategy, thresholds=thresholds_strategy)
+def test_abcore_matches_naive_reference(graph, thresholds):
+    alpha, beta = thresholds
+    fast = abcore_subgraph(graph, alpha, beta)
+    naive = naive_abcore(graph, alpha, beta)
+    assert fast.edge_set() == naive.edge_set()
+
+
+@default_settings
+@given(graph=graph_strategy, thresholds=thresholds_strategy)
+def test_abcore_nesting(graph, thresholds):
+    alpha, beta = thresholds
+    outer = abcore_vertices(graph, alpha, beta)
+    assert abcore_vertices(graph, alpha + 1, beta) <= outer
+    assert abcore_vertices(graph, alpha, beta + 1) <= outer
+
+
+@default_settings
+@given(graph=graph_strategy, thresholds=thresholds_strategy)
+def test_abcore_degrees_satisfied(graph, thresholds):
+    alpha, beta = thresholds
+    core = abcore_subgraph(graph, alpha, beta)
+    for label in core.upper_labels():
+        assert core.degree(Side.UPPER, label) >= alpha
+    for label in core.lower_labels():
+        assert core.degree(Side.LOWER, label) >= beta
+
+
+# --------------------------------------------------------------------------- #
+# offsets and degeneracy
+# --------------------------------------------------------------------------- #
+
+
+@default_settings
+@given(graph=graph_strategy, alpha=st.integers(min_value=1, max_value=4))
+def test_alpha_offset_characterises_membership(graph, alpha):
+    offsets = alpha_offsets(graph, alpha)
+    for beta in (1, 2, 3):
+        core = abcore_vertices(graph, alpha, beta)
+        assert {v for v, off in offsets.items() if off >= beta} == core
+
+
+@default_settings
+@given(graph=graph_strategy, beta=st.integers(min_value=1, max_value=4))
+def test_beta_offset_characterises_membership(graph, beta):
+    offsets = beta_offsets(graph, beta)
+    for alpha in (1, 2, 3):
+        core = abcore_vertices(graph, alpha, beta)
+        assert {v for v, off in offsets.items() if off >= alpha} == core
+
+
+@default_settings
+@given(graph=graph_strategy)
+def test_degeneracy_bounds(graph):
+    delta = degeneracy(graph)
+    assert delta <= degeneracy_upper_bound(graph)
+    assert abcore_vertices(graph, delta, delta) if delta else True
+    assert not abcore_vertices(graph, delta + 1, delta + 1)
+
+
+# --------------------------------------------------------------------------- #
+# index agreement
+# --------------------------------------------------------------------------- #
+
+
+@default_settings
+@given(graph=graph_strategy, thresholds=thresholds_strategy)
+def test_degeneracy_index_agrees_with_online_query(graph, thresholds):
+    alpha, beta = thresholds
+    index = DegeneracyIndex(graph)
+    for vertex in graph.vertices():
+        try:
+            expected = online_community_query(graph, vertex, alpha, beta)
+        except EmptyCommunityError:
+            with pytest.raises(EmptyCommunityError):
+                index.community(vertex, alpha, beta)
+            continue
+        actual = index.community(vertex, alpha, beta)
+        assert graph_edge_weights(actual) == graph_edge_weights(expected)
+
+
+# --------------------------------------------------------------------------- #
+# significant community invariants
+# --------------------------------------------------------------------------- #
+
+
+@default_settings
+@given(graph=graph_strategy, thresholds=thresholds_strategy)
+def test_peel_and_expand_agree_and_satisfy_definition(graph, thresholds):
+    alpha, beta = thresholds
+    index = DegeneracyIndex(graph)
+    members = index.vertices_in_core(alpha, beta)
+    if not members:
+        return
+    query = members[0]
+    community = index.community(query, alpha, beta)
+    peel = scs_peel(community, query, alpha, beta)
+    expand = scs_expand(community, query, alpha, beta)
+    # Both algorithms return the same community (Lemma 1: it is unique).
+    assert graph_edge_weights(peel) == graph_edge_weights(expand)
+    # The community satisfies all constraints of Definition 5.
+    assert peel.has_vertex(query.side, query.label)
+    assert peel.is_connected()
+    for label in peel.upper_labels():
+        assert peel.degree(Side.UPPER, label) >= alpha
+    for label in peel.lower_labels():
+        assert peel.degree(Side.LOWER, label) >= beta
+    # It is a subgraph of the (α,β)-community with at least its significance.
+    assert peel.edge_set() <= community.edge_set()
+    assert peel.significance() >= community.significance()
+
+
+@default_settings
+@given(graph=graph_strategy)
+def test_significance_is_maximal(graph):
+    """No threshold above f(R) keeps the query vertex in a valid community."""
+    from repro.graph.views import weight_threshold_subgraph
+
+    index = DegeneracyIndex(graph)
+    members = index.vertices_in_core(2, 2)
+    if not members:
+        return
+    query = members[0]
+    community = index.community(query, 2, 2)
+    result = scs_peel(community, query, 2, 2)
+    significance = result.significance()
+    higher = sorted({w for w in community.edge_weights() if w > significance})
+    if not higher:
+        return
+    restricted = weight_threshold_subgraph(community, higher[0])
+    core = naive_abcore(restricted, 2, 2)
+    assert not core.has_vertex(query.side, query.label)
+
+
+# --------------------------------------------------------------------------- #
+# union-find
+# --------------------------------------------------------------------------- #
+
+
+@default_settings
+@given(
+    unions=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=0, max_size=30
+    )
+)
+def test_unionfind_matches_naive_partition(unions: List[Tuple[int, int]]):
+    uf = UnionFind(range(16))
+    naive = {i: {i} for i in range(16)}
+    for a, b in unions:
+        uf.union(a, b)
+        merged = naive[a] | naive[b]
+        for member in merged:
+            naive[member] = merged
+    for i in range(16):
+        for j in range(16):
+            assert uf.connected(i, j) == (j in naive[i])

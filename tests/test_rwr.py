@@ -1,0 +1,64 @@
+"""Unit tests for random walk with restart."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex, upper
+from repro.graph.generators import complete_bipartite, random_bipartite
+from repro.graph.rwr import rwr_edge_weights, rwr_scores
+
+
+class TestRwrScores:
+    def test_scores_sum_to_one(self):
+        graph = complete_bipartite(4, 4)
+        scores = rwr_scores(graph, upper("u0"))
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_restart_vertex_has_highest_score(self):
+        graph = random_bipartite(8, 8, 30, seed=2)
+        seed_vertex = upper("u0")
+        scores = rwr_scores(graph, seed_vertex, restart_prob=0.3)
+        assert scores[seed_vertex] == max(scores.values())
+
+    def test_closer_vertices_score_higher(self):
+        # Path-like graph: u0 - v0 - u1 - v1 ; v0 is closer to u0 than v1.
+        graph = BipartiteGraph.from_edges([("u0", "v0"), ("u1", "v0"), ("u1", "v1")])
+        scores = rwr_scores(graph, upper("u0"))
+        assert scores[Vertex(Side.LOWER, "v0")] > scores[Vertex(Side.LOWER, "v1")]
+
+    def test_invalid_restart_probability(self):
+        graph = complete_bipartite(2, 2)
+        with pytest.raises(InvalidParameterError):
+            rwr_scores(graph, upper("u0"), restart_prob=1.5)
+
+    def test_missing_restart_vertex(self):
+        graph = complete_bipartite(2, 2)
+        with pytest.raises(InvalidParameterError):
+            rwr_scores(graph, upper("ghost"))
+
+    def test_symmetry_on_complete_graph(self):
+        graph = complete_bipartite(3, 3)
+        scores = rwr_scores(graph, upper("u0"))
+        # The two non-restart upper vertices are interchangeable.
+        assert scores[upper("u1")] == pytest.approx(scores[upper("u2")], rel=1e-9)
+
+
+class TestRwrEdgeWeights:
+    def test_weights_cover_requested_range(self):
+        graph = random_bipartite(10, 10, 40, seed=5)
+        weights = rwr_edge_weights(graph, weight_range=(1.0, 5.0))
+        assert min(weights.values()) == pytest.approx(1.0)
+        assert max(weights.values()) == pytest.approx(5.0)
+        assert len(weights) == graph.num_edges
+
+    def test_empty_graph_gives_empty_weights(self):
+        assert rwr_edge_weights(BipartiteGraph()) == {}
+
+    def test_constant_scores_map_to_midpoint(self):
+        # A single edge: both endpoints get whatever score they get, but the
+        # span of raw values is zero, so the midpoint of the range is used.
+        graph = BipartiteGraph.from_edges([("u", "v")])
+        weights = rwr_edge_weights(graph, weight_range=(2.0, 4.0))
+        assert weights[("u", "v")] == pytest.approx(3.0)

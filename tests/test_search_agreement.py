@@ -1,0 +1,109 @@
+"""Cross-algorithm agreement: all four SCS algorithms return the same community.
+
+This is the strongest integration check in the suite: for many (graph, query,
+alpha, beta) combinations the peeling, expansion, binary-search and baseline
+algorithms must return exactly the same subgraph, and that subgraph must match
+the brute-force answer derived straight from Definition 5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyCommunityError
+from repro.graph.bipartite import Side
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.search.baseline import scs_baseline
+from repro.search.binary import scs_binary
+from repro.search.expand import scs_expand
+from repro.search.peel import scs_peel
+
+from tests.conftest import make_random_weighted_graph
+from tests.reference import assert_same_graph, naive_significant_community
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13, 14])
+@pytest.mark.parametrize("alpha,beta", [(2, 2), (2, 3), (3, 2)])
+def test_all_algorithms_agree_with_definition(seed, alpha, beta):
+    graph = make_random_weighted_graph(seed, num_edges=130)
+    index = DegeneracyIndex(graph)
+    candidates = index.vertices_in_core(alpha, beta)
+    if not candidates:
+        pytest.skip("empty core for this seed / thresholds")
+    # Check a handful of query vertices spread over both layers.
+    uppers = [v for v in candidates if v.side is Side.UPPER][:2]
+    lowers = [v for v in candidates if v.side is Side.LOWER][:2]
+    for query in uppers + lowers:
+        community = index.community(query, alpha, beta)
+        expected = naive_significant_community(graph, query, alpha, beta)
+        assert expected is not None
+        peel = scs_peel(community, query, alpha, beta)
+        expand = scs_expand(community, query, alpha, beta)
+        binary = scs_binary(community, query, alpha, beta)
+        baseline = scs_baseline(graph, query, alpha, beta)
+        assert_same_graph(peel, expected)
+        assert_same_graph(expand, expected)
+        assert_same_graph(binary, expected)
+        assert_same_graph(baseline, expected)
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_significance_is_maximal(seed):
+    """No valid community with a strictly higher significance may exist."""
+    from repro.graph.views import weight_threshold_subgraph
+    from tests.reference import naive_abcore
+
+    graph = make_random_weighted_graph(seed, num_edges=110)
+    index = DegeneracyIndex(graph)
+    candidates = index.vertices_in_core(2, 2)
+    if not candidates:
+        pytest.skip("empty (2,2)-core")
+    query = candidates[0]
+    community = index.community(query, 2, 2)
+    result = scs_peel(community, query, 2, 2)
+    significance = result.significance()
+    higher_weights = sorted({w for w in community.edge_weights() if w > significance})
+    if not higher_weights:
+        return
+    restricted = weight_threshold_subgraph(community, higher_weights[0])
+    core = naive_abcore(restricted, 2, 2)
+    assert not core.has_vertex(query.side, query.label)
+
+
+@pytest.mark.parametrize("seed", [31, 32])
+def test_result_is_subgraph_of_community(seed):
+    """Lemma 1: R is always a subgraph of the (α,β)-community."""
+    graph = make_random_weighted_graph(seed, num_edges=120)
+    index = DegeneracyIndex(graph)
+    candidates = index.vertices_in_core(2, 2)
+    if not candidates:
+        pytest.skip("empty (2,2)-core")
+    query = candidates[-1]
+    community = index.community(query, 2, 2)
+    result = scs_expand(community, query, 2, 2)
+    assert result.edge_set() <= community.edge_set()
+
+
+def test_unique_answer_independent_of_method_on_ties():
+    """Equal-weight ties must not make the algorithms diverge (Lemma 1 uniqueness)."""
+    from repro.graph.bipartite import BipartiteGraph, upper
+
+    graph = BipartiteGraph(name="ties")
+    # Two overlapping 2x2 blocks with identical weights plus a weaker rim.
+    for i in range(2):
+        for j in range(2):
+            graph.add_edge(f"a{i}", f"x{j}", 5.0)
+            graph.add_edge(f"b{i}", f"x{j}", 5.0)
+    graph.add_edge("a0", "x2", 1.0)
+    graph.add_edge("a1", "x2", 1.0)
+    index = DegeneracyIndex(graph)
+    query = upper("a0")
+    community = index.community(query, 2, 2)
+    results = [
+        scs_peel(community, query, 2, 2),
+        scs_expand(community, query, 2, 2),
+        scs_binary(community, query, 2, 2),
+        scs_baseline(graph, query, 2, 2),
+    ]
+    for result in results[1:]:
+        assert_same_graph(result, results[0])

@@ -1,0 +1,75 @@
+"""Unit tests for index serialisation."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.exceptions import EmptyCommunityError, IndexConsistencyError
+from repro.graph.bipartite import upper
+from repro.index.bicore_index import BicoreIndex
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.index.serialization import index_stats_path, load_index, save_index
+
+from tests.reference import assert_same_graph
+
+
+class TestSaveLoad:
+    def test_round_trip_degeneracy_index(self, tmp_path, two_block_graph):
+        index = DegeneracyIndex(two_block_graph)
+        path = save_index(index, tmp_path / "idx.pkl")
+        loaded = load_index(path)
+        assert isinstance(loaded, DegeneracyIndex)
+        assert loaded.delta == index.delta
+        assert_same_graph(
+            loaded.community(upper("a0"), 2, 2), index.community(upper("a0"), 2, 2)
+        )
+
+    def test_round_trip_bicore_index(self, tmp_path, tiny_graph):
+        index = BicoreIndex(tiny_graph)
+        path = save_index(index, tmp_path / "sub" / "iv.pkl")
+        loaded = load_index(path)
+        assert loaded.core_vertices(2, 2) == index.core_vertices(2, 2)
+
+    def test_stats_sidecar_written(self, tmp_path, tiny_graph):
+        index = DegeneracyIndex(tiny_graph)
+        path = save_index(index, tmp_path / "idx.pkl")
+        sidecar = index_stats_path(path)
+        assert sidecar.exists()
+        payload = json.loads(sidecar.read_text())
+        assert payload["name"] == "Idelta"
+        assert payload["entries"] == index.stats().entries
+
+    def test_loaded_index_raises_like_original(self, tmp_path, tiny_graph):
+        index = DegeneracyIndex(tiny_graph)
+        loaded = load_index(save_index(index, tmp_path / "idx.pkl"))
+        with pytest.raises(EmptyCommunityError):
+            loaded.community(upper("u3"), 2, 2)
+
+
+class TestErrorHandling:
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"magic": "something-else"}, handle)
+        with pytest.raises(IndexConsistencyError):
+            load_index(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"magic": "repro-community-index", "version": 999, "index": None}, handle)
+        with pytest.raises(IndexConsistencyError):
+            load_index(path)
+
+    def test_non_index_payload_rejected(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump(
+                {"magic": "repro-community-index", "version": 1, "index": "not an index"},
+                handle,
+            )
+        with pytest.raises(IndexConsistencyError):
+            load_index(path)

@@ -1,0 +1,67 @@
+"""Unit tests for the C4* threshold community."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyCommunityError
+from repro.graph.bipartite import BipartiteGraph, Side, lower, upper
+from repro.models.threshold import high_average_items, threshold_community, threshold_subgraph
+
+
+@pytest.fixture
+def rated_graph() -> BipartiteGraph:
+    graph = BipartiteGraph(name="ratings")
+    # good_movie: average 4.5; bad_movie: average 2.0; mixed_movie: average 4.0.
+    graph.add_edge("alice", "good_movie", 5.0)
+    graph.add_edge("bob", "good_movie", 4.0)
+    graph.add_edge("alice", "bad_movie", 2.0)
+    graph.add_edge("carol", "bad_movie", 2.0)
+    graph.add_edge("bob", "mixed_movie", 3.0)
+    graph.add_edge("carol", "mixed_movie", 5.0)
+    return graph
+
+
+class TestHighAverageItems:
+    def test_threshold_4(self, rated_graph):
+        assert high_average_items(rated_graph, 4.0) == {"good_movie", "mixed_movie"}
+
+    def test_threshold_above_everything(self, rated_graph):
+        assert high_average_items(rated_graph, 5.0) == set()
+
+    def test_threshold_below_everything(self, rated_graph):
+        assert high_average_items(rated_graph, 0.0) == {"good_movie", "bad_movie", "mixed_movie"}
+
+
+class TestThresholdSubgraph:
+    def test_contains_only_high_items_and_their_raters(self, rated_graph):
+        sub = threshold_subgraph(rated_graph, 4.0)
+        assert set(sub.lower_labels()) == {"good_movie", "mixed_movie"}
+        assert set(sub.upper_labels()) == {"alice", "bob", "carol"}
+        assert not sub.has_edge("alice", "bad_movie")
+
+    def test_weights_preserved(self, rated_graph):
+        sub = threshold_subgraph(rated_graph, 4.0)
+        assert sub.weight("alice", "good_movie") == 5.0
+
+
+class TestThresholdCommunity:
+    def test_community_of_user(self, rated_graph):
+        community = threshold_community(rated_graph, upper("alice"), 4.0)
+        assert community.has_vertex(Side.LOWER, "good_movie")
+        assert not community.has_vertex(Side.LOWER, "bad_movie")
+
+    def test_community_of_item(self, rated_graph):
+        community = threshold_community(rated_graph, lower("mixed_movie"), 4.0)
+        assert community.has_vertex(Side.UPPER, "carol")
+
+    def test_query_outside_subgraph_raises(self, rated_graph):
+        with pytest.raises(EmptyCommunityError):
+            threshold_community(rated_graph, lower("bad_movie"), 4.0)
+
+    def test_structure_is_ignored(self, rated_graph):
+        # A user with a single high rating still enters the community: that is
+        # the weakness of C4* the paper points out.
+        rated_graph.add_edge("loner", "good_movie", 5.0)
+        community = threshold_community(rated_graph, upper("loner"), 4.0)
+        assert community.has_vertex(Side.UPPER, "loner")

@@ -1,0 +1,62 @@
+"""Unit tests for the shared index-list BFS (Algorithm 2's traversal core)."""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import Side, Vertex, lower, upper
+from repro.index.traversal import bfs_over_lists
+
+
+def build_lists():
+    """Hand-built sorted adjacency lists for a 2x2 block plus a weak appendix.
+
+    Offsets: the block vertices have offset 2, the appendix vertex offset 1.
+    """
+    u0, u1, u2 = upper("u0"), upper("u1"), upper("u2")
+    v0, v1 = lower("v0"), lower("v1")
+    return {
+        u0: [(v0, 5.0, 2), (v1, 4.0, 2)],
+        u1: [(v0, 3.0, 2), (v1, 2.0, 2)],
+        u2: [(v0, 1.0, 1)],
+        v0: [(u0, 5.0, 2), (u1, 3.0, 2), (u2, 1.0, 1)],
+        v1: [(u0, 4.0, 2), (u1, 2.0, 2)],
+    }
+
+
+class TestBfsOverLists:
+    def test_requirement_filters_low_offset_entries(self):
+        community = bfs_over_lists(build_lists(), upper("u0"), requirement=2)
+        assert community.edge_set() == {("u0", "v0"), ("u0", "v1"), ("u1", "v0"), ("u1", "v1")}
+        assert not community.has_vertex(Side.UPPER, "u2")
+
+    def test_requirement_one_includes_appendix(self):
+        community = bfs_over_lists(build_lists(), upper("u0"), requirement=1)
+        assert community.has_edge("u2", "v0")
+        assert community.num_edges == 5
+
+    def test_weights_copied_into_result(self):
+        community = bfs_over_lists(build_lists(), lower("v1"), requirement=2)
+        assert community.weight("u0", "v1") == 4.0
+
+    def test_start_from_lower_vertex(self):
+        community = bfs_over_lists(build_lists(), lower("v0"), requirement=2)
+        assert set(community.upper_labels()) == {"u0", "u1"}
+
+    def test_missing_start_vertex_gives_empty_graph(self):
+        community = bfs_over_lists(build_lists(), upper("ghost"), requirement=1)
+        assert community.num_edges == 0
+
+    def test_name_is_applied(self):
+        community = bfs_over_lists(build_lists(), upper("u0"), requirement=2, name="demo")
+        assert community.name == "demo"
+
+    def test_early_break_stops_scanning_each_list(self):
+        # Entries after the first sub-requirement offset are never inspected:
+        # place a qualifying entry *after* a low-offset one in u0's list — the
+        # vertex it points to (vX) must not be reached through that list.
+        # (The edge (u0, v1) still appears because v1's own list mentions u0;
+        # the truncation is per list, which is what makes the scan optimal.)
+        lists = build_lists()
+        lists[upper("u0")] = [(lower("v0"), 5.0, 2), (lower("vX"), 9.0, 1), (lower("v1"), 4.0, 2)]
+        community = bfs_over_lists(lists, upper("u0"), requirement=2)
+        assert not community.has_vertex(Side.LOWER, "vX")
+        assert community.has_edge("u0", "v1")

@@ -1,0 +1,127 @@
+"""Unit tests for UnionFind and ComponentTracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import lower, upper
+from repro.utils.unionfind import ComponentTracker, UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert len(uf) == 3
+        assert uf.find("a") == "a"
+        assert not uf.connected("a", "b")
+
+    def test_union_connects(self):
+        uf = UnionFind(["a", "b", "c"])
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert not uf.connected("a", "c")
+
+    def test_union_is_transitive(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+
+    def test_set_size(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.set_size(2) == 3
+        assert uf.set_size(3) == 1
+
+    def test_roots_count_matches_components(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert len(list(uf.roots())) == 4
+
+    def test_members(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        assert uf.members(0) == {0, 1}
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.union("x", "x")
+        uf.add("x")
+        assert uf.set_size("x") == 1
+
+    def test_contains(self):
+        uf = UnionFind(["a"])
+        assert "a" in uf
+        assert "b" not in uf
+
+
+class TestComponentTracker:
+    def test_single_edge_counts(self):
+        tracker = ComponentTracker(alpha=2, beta=2)
+        tracker.add_edge(upper("u"), lower("v"))
+        assert tracker.component_edges(upper("u")) == 1
+        assert tracker.component_upper(upper("u")) == 1
+        assert tracker.component_lower(upper("u")) == 1
+
+    def test_merge_aggregates_counts(self):
+        tracker = ComponentTracker(alpha=1, beta=1)
+        tracker.add_edge(upper("u1"), lower("v1"))
+        tracker.add_edge(upper("u2"), lower("v2"))
+        assert tracker.root_of(upper("u1")) != tracker.root_of(upper("u2"))
+        tracker.add_edge(upper("u1"), lower("v2"))  # merges the two components
+        assert tracker.root_of(upper("u1")) == tracker.root_of(upper("u2"))
+        assert tracker.component_edges(upper("u2")) == 3
+        assert tracker.component_upper(upper("u2")) == 2
+        assert tracker.component_lower(upper("u2")) == 2
+
+    def test_degree_tracking(self):
+        tracker = ComponentTracker(alpha=2, beta=2)
+        tracker.add_edge(upper("u"), lower("v1"))
+        tracker.add_edge(upper("u"), lower("v2"))
+        assert tracker.degree(upper("u")) == 2
+        assert tracker.degree(lower("v1")) == 1
+        assert tracker.degree(lower("missing")) == 0
+
+    def test_saturation_counters(self):
+        tracker = ComponentTracker(alpha=2, beta=1)
+        tracker.add_edge(upper("u"), lower("v1"))
+        # v1 reaches its threshold (beta=1) immediately; u (alpha=2) not yet.
+        assert tracker.saturated_lower(upper("u")) == 1
+        assert tracker.saturated_upper(upper("u")) == 0
+        tracker.add_edge(upper("u"), lower("v2"))
+        assert tracker.saturated_upper(upper("u")) == 1
+        assert tracker.saturated_lower(upper("u")) == 2
+
+    def test_saturation_counters_survive_merges(self):
+        tracker = ComponentTracker(alpha=1, beta=1)
+        tracker.add_edge(upper("a"), lower("x"))
+        tracker.add_edge(upper("b"), lower("y"))
+        tracker.add_edge(upper("a"), lower("y"))
+        assert tracker.saturated_upper(upper("b")) == 2
+        assert tracker.saturated_lower(upper("b")) == 2
+
+    def test_component_members(self):
+        tracker = ComponentTracker(alpha=1, beta=1)
+        tracker.add_edge(upper("a"), lower("x"))
+        tracker.add_edge(upper("b"), lower("x"))
+        members = tracker.component_members(lower("x"))
+        assert members == {upper("a"), upper("b"), lower("x")}
+
+    def test_parallel_edge_counts_once_per_insert(self):
+        # The tracker trusts its caller to not insert the same edge twice; the
+        # expansion algorithm never does because the pool has no duplicates.
+        tracker = ComponentTracker(alpha=1, beta=1)
+        tracker.add_edge(upper("a"), lower("x"))
+        assert tracker.component_edges(upper("a")) == 1
+
+    def test_contains(self):
+        tracker = ComponentTracker(alpha=1, beta=1)
+        assert not tracker.contains(upper("a"))
+        tracker.add_edge(upper("a"), lower("x"))
+        assert tracker.contains(upper("a"))
+        assert tracker.contains(lower("x"))

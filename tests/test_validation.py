@@ -1,0 +1,76 @@
+"""Unit tests for parameter/result validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, lower, upper
+from repro.graph.generators import complete_bipartite
+from repro.utils.validation import (
+    check_positive_int,
+    check_query_vertex,
+    check_thresholds,
+    is_significant_candidate,
+    satisfies_degree_constraints,
+)
+
+
+class TestParameterChecks:
+    def test_positive_int_accepts_valid(self):
+        assert check_positive_int(3, "alpha") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, True, "2", None])
+    def test_positive_int_rejects_invalid(self, value):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(value, "alpha")
+
+    def test_thresholds(self):
+        check_thresholds(1, 1)
+        with pytest.raises(InvalidParameterError):
+            check_thresholds(0, 1)
+        with pytest.raises(InvalidParameterError):
+            check_thresholds(2, -3)
+
+    def test_query_vertex_must_be_handle(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            check_query_vertex(tiny_graph, "u0")
+
+    def test_query_vertex_must_exist(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            check_query_vertex(tiny_graph, upper("missing"))
+        assert check_query_vertex(tiny_graph, upper("u0")) == upper("u0")
+
+
+class TestDegreeConstraints:
+    def test_complete_graph_satisfies(self):
+        graph = complete_bipartite(3, 3)
+        assert satisfies_degree_constraints(graph, 3, 3)
+        assert not satisfies_degree_constraints(graph, 4, 1)
+        assert not satisfies_degree_constraints(graph, 1, 4)
+
+    def test_tiny_graph_with_pendant(self, tiny_graph):
+        assert satisfies_degree_constraints(tiny_graph, 1, 1)
+        assert not satisfies_degree_constraints(tiny_graph, 2, 2)  # u3 has degree 1
+
+
+class TestSignificantCandidate:
+    def test_valid_candidate(self):
+        graph = complete_bipartite(3, 3, weight=4.0)
+        assert is_significant_candidate(graph, upper("u0"), 3, 3)
+        assert is_significant_candidate(graph, upper("u0"), 3, 3, minimum_weight=4.0)
+
+    def test_minimum_weight_enforced(self):
+        graph = complete_bipartite(3, 3, weight=2.0)
+        assert not is_significant_candidate(graph, upper("u0"), 2, 2, minimum_weight=3.0)
+
+    def test_query_must_be_inside(self):
+        graph = complete_bipartite(3, 3)
+        assert not is_significant_candidate(graph, upper("elsewhere"), 1, 1)
+
+    def test_disconnected_candidate_rejected(self):
+        graph = BipartiteGraph.from_edges([("a", "x", 1.0), ("b", "y", 1.0)])
+        assert not is_significant_candidate(graph, upper("a"), 1, 1)
+
+    def test_empty_graph_rejected(self):
+        assert not is_significant_candidate(BipartiteGraph(), upper("a"), 1, 1)

@@ -1,0 +1,83 @@
+"""Unit tests for subgraph extraction helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph, Side, lower, upper
+from repro.graph.views import (
+    connected_component,
+    connected_components,
+    edge_subgraph,
+    induced_subgraph,
+    weight_threshold_subgraph,
+)
+
+
+class TestInducedSubgraph:
+    def test_keeps_only_internal_edges(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [upper("u0"), upper("u1"), lower("v0")])
+        assert sub.edge_set() == {("u0", "v0"), ("u1", "v0")}
+
+    def test_preserves_weights(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [upper("u0"), lower("v1")])
+        assert sub.weight("u0", "v1") == tiny_graph.weight("u0", "v1")
+
+    def test_includes_isolated_requested_vertices(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [upper("u0"), upper("u3")])
+        assert sub.has_vertex(Side.UPPER, "u3")
+        assert sub.num_edges == 0
+
+    def test_ignores_vertices_not_in_graph(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [upper("ghost"), lower("v0"), upper("u0")])
+        assert not sub.has_vertex(Side.UPPER, "ghost")
+        assert sub.has_edge("u0", "v0")
+
+    def test_empty_selection(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [])
+        assert sub.num_vertices == 0
+
+
+class TestEdgeSubgraph:
+    def test_copies_weights_from_parent(self, tiny_graph):
+        sub = edge_subgraph(tiny_graph, [("u0", "v0"), ("u1", "v1")])
+        assert sub.num_edges == 2
+        assert sub.weight("u1", "v1") == tiny_graph.weight("u1", "v1")
+
+    def test_missing_edge_raises(self, tiny_graph):
+        with pytest.raises(Exception):
+            edge_subgraph(tiny_graph, [("u0", "nonexistent")])
+
+
+class TestConnectedComponents:
+    def test_component_of_vertex(self, two_block_graph):
+        component = connected_component(two_block_graph, upper("b0"))
+        # The bridge makes the whole graph one component.
+        assert component.num_edges == two_block_graph.num_edges
+
+    def test_components_partition_vertices(self, tiny_graph):
+        disconnected = BipartiteGraph.from_edges([("a", "x", 1.0), ("b", "y", 2.0)])
+        components = list(connected_components(disconnected))
+        assert len(components) == 2
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [2, 2]
+
+    def test_single_component_graph(self, tiny_graph):
+        components = list(connected_components(tiny_graph))
+        assert len(components) == 1
+        assert len(components[0]) == tiny_graph.num_vertices
+
+
+class TestWeightThreshold:
+    def test_keeps_edges_at_or_above_threshold(self, tiny_graph):
+        sub = weight_threshold_subgraph(tiny_graph, 5.0)
+        assert all(w >= 5.0 for _, _, w in sub.edges())
+        assert sub.num_edges == 5  # weights 5..9
+
+    def test_threshold_below_minimum_keeps_everything(self, tiny_graph):
+        sub = weight_threshold_subgraph(tiny_graph, 0.0)
+        assert sub.num_edges == tiny_graph.num_edges
+
+    def test_threshold_above_maximum_is_empty(self, tiny_graph):
+        sub = weight_threshold_subgraph(tiny_graph, 100.0)
+        assert sub.num_edges == 0

@@ -1,0 +1,84 @@
+"""Unit tests for the edge-weight models (AE / UF / SK / RW / ratings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import random_bipartite
+from repro.graph.weights import (
+    WEIGHT_MODELS,
+    all_equal_weights,
+    apply_weights,
+    rating_weights,
+    skewed_weights,
+    uniform_weights,
+)
+
+
+@pytest.fixture
+def base_graph():
+    return random_bipartite(10, 10, 45, seed=9)
+
+
+class TestAllEqual:
+    def test_every_edge_same_value(self, base_graph):
+        weights = all_equal_weights(base_graph, value=3.0)
+        assert set(weights.values()) == {3.0}
+        assert len(weights) == base_graph.num_edges
+
+
+class TestUniform:
+    def test_weights_within_range(self, base_graph):
+        weights = uniform_weights(base_graph, low=2.0, high=4.0, seed=1)
+        assert all(2.0 <= w <= 4.0 for w in weights.values())
+
+    def test_deterministic_for_seed(self, base_graph):
+        assert uniform_weights(base_graph, seed=5) == uniform_weights(base_graph, seed=5)
+
+    def test_invalid_range(self, base_graph):
+        with pytest.raises(InvalidParameterError):
+            uniform_weights(base_graph, low=5.0, high=1.0)
+
+
+class TestSkewed:
+    def test_weights_clamped(self, base_graph):
+        weights = skewed_weights(base_graph, low=0.5, high=5.0, seed=2)
+        assert all(0.5 <= w <= 5.0 for w in weights.values())
+
+    def test_positive_skew_shifts_mass_above_location(self, base_graph):
+        weights = list(skewed_weights(base_graph, location=3.0, skewness=5.0, seed=3).values())
+        mean = sum(weights) / len(weights)
+        assert mean > 3.0
+
+
+class TestRatings:
+    def test_half_star_scale(self, base_graph):
+        weights = rating_weights(base_graph, seed=4)
+        assert all(0.5 <= w <= 5.0 for w in weights.values())
+        assert all((w * 2).is_integer() for w in weights.values())
+
+    def test_explicit_good_edges_receive_high_ratings(self, base_graph):
+        good = list(base_graph.edge_set())[:5]
+        weights = rating_weights(base_graph, good_edges=good, seed=4)
+        for edge in good:
+            assert weights[edge] >= 4.0
+
+
+class TestApplyWeights:
+    @pytest.mark.parametrize("model", sorted(WEIGHT_MODELS))
+    def test_all_models_rewrite_in_place(self, base_graph, model):
+        apply_weights(base_graph, model, seed=1)
+        assert base_graph.num_edges == 45  # structure untouched
+
+    def test_ae_model_makes_all_weights_equal(self, base_graph):
+        apply_weights(base_graph, "AE")
+        assert len(set(base_graph.edge_weights())) == 1
+
+    def test_unknown_model_rejected(self, base_graph):
+        with pytest.raises(InvalidParameterError):
+            apply_weights(base_graph, "XX")
+
+    def test_model_name_is_case_insensitive(self, base_graph):
+        apply_weights(base_graph, "uf", seed=3)
+        assert base_graph.num_edges == 45

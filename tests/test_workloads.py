@@ -1,0 +1,78 @@
+"""Unit tests for the benchmark workload helpers and the Timer utility."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.workloads import (
+    SWEEP_FRACTIONS,
+    average_time,
+    sample_core_queries,
+    threshold_from_fraction,
+    time_callable,
+)
+from repro.graph.generators import complete_bipartite
+from repro.index.degeneracy_index import DegeneracyIndex
+from repro.utils.timer import Timer
+
+
+class TestThresholdFromFraction:
+    def test_rounds_to_nearest(self):
+        assert threshold_from_fraction(10, 0.7) == 7
+        assert threshold_from_fraction(22, 0.7) == 15
+        assert threshold_from_fraction(13, 0.5) == 6  # round-half-to-even on 6.5
+
+    def test_never_below_one(self):
+        assert threshold_from_fraction(3, 0.1) == 1
+        assert threshold_from_fraction(0, 0.9) == 1
+
+    def test_paper_sweep_fractions(self):
+        assert SWEEP_FRACTIONS == (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+class TestSampleCoreQueries:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return DegeneracyIndex(complete_bipartite(4, 5))
+
+    def test_samples_only_core_vertices(self, index):
+        queries = sample_core_queries(index, 4, 4, count=3, seed=1)
+        assert len(queries) == 3
+        for query in queries:
+            assert index.contains(query, 4, 4)
+
+    def test_returns_all_when_core_small(self, index):
+        queries = sample_core_queries(index, 4, 4, count=100, seed=1)
+        assert len(queries) == 9
+
+    def test_empty_core(self, index):
+        assert sample_core_queries(index, 9, 9, count=5) == []
+
+    def test_deterministic_for_seed(self, index):
+        assert sample_core_queries(index, 4, 4, 4, seed=3) == sample_core_queries(
+            index, 4, 4, 4, seed=3
+        )
+
+
+class TestTiming:
+    def test_time_callable_positive(self):
+        elapsed = time_callable(lambda: sum(range(1000)))
+        assert elapsed >= 0.0
+
+    def test_average_time(self):
+        assert average_time([]) == 0.0
+        assert average_time([lambda: None, lambda: None]) >= 0.0
+
+    def test_timer_measures_sleep(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_timer_restart(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.restart()
+        assert timer.elapsed == 0.0
