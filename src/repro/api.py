@@ -36,11 +36,23 @@ _COMMUNITY_METHODS = ("peel", "expand", "binary", "baseline", "auto")
 
 
 class CommunitySearcher:
-    """Two-step significant (α,β)-community search over one graph."""
+    """Two-step significant (α,β)-community search over one graph.
 
-    def __init__(self, graph: BipartiteGraph, index: Optional[DegeneracyIndex] = None) -> None:
+    ``backend`` selects the engine used to build the index when one is not
+    supplied: ``"dict"`` (label-level adjacency), ``"csr"`` (frozen integer
+    arrays with vectorised peeling kernels) or ``"auto"`` (CSR once the graph
+    is large enough to amortise the freeze).  Query results are identical
+    across backends.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        index: Optional[DegeneracyIndex] = None,
+        backend: str = "auto",
+    ) -> None:
         self._graph = graph
-        self._index = index if index is not None else DegeneracyIndex(graph)
+        self._index = index if index is not None else DegeneracyIndex(graph, backend=backend)
 
     # ------------------------------------------------------------------ #
     @property
@@ -50,6 +62,11 @@ class CommunitySearcher:
     @property
     def index(self) -> DegeneracyIndex:
         return self._index
+
+    @property
+    def backend(self) -> str:
+        """The resolved construction backend of the underlying index."""
+        return self._index.backend
 
     @property
     def degeneracy(self) -> int:

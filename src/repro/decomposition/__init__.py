@@ -5,6 +5,10 @@
 * :mod:`~repro.decomposition.kcore` — unipartite k-core decomposition used to
   obtain the degeneracy.
 * :mod:`~repro.decomposition.degeneracy` — the degeneracy δ (Definition 7).
+* :mod:`~repro.decomposition.csr_kernels` — vectorised CSR twins of the
+  peeling / offset / degeneracy kernels, selected via the ``backend=``
+  parameter of the functions above (not imported here: it requires numpy,
+  which stays optional).
 """
 
 from repro.decomposition.abcore import abcore_subgraph, abcore_vertices

@@ -4,6 +4,13 @@ The (α,β)-core of a bipartite graph is the maximal subgraph in which every
 upper vertex has degree at least α and every lower vertex has degree at least
 β.  It is computed by iteratively removing violating vertices until a fixed
 point is reached — the classical peeling algorithm, linear in the graph size.
+
+Two engines implement the peeling.  The default dict backend walks the
+label-level adjacency with a FIFO of :class:`Vertex` handles; the CSR backend
+(``backend="csr"``) freezes the graph into
+:class:`~repro.graph.csr.CSRBipartiteGraph` and runs the vectorised frontier
+cascade of :mod:`repro.decomposition.csr_kernels`.  ``backend="auto"`` picks
+CSR above :data:`~repro.graph.csr.AUTO_CSR_EDGE_THRESHOLD` edges.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from collections import deque
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.csr import resolve_backend
 from repro.graph.views import induced_subgraph
 from repro.utils.validation import check_thresholds
 
@@ -76,20 +84,40 @@ def _adjacency_snapshot(
     return degrees, neighbors
 
 
-def abcore_vertices(graph: BipartiteGraph, alpha: int, beta: int) -> Set[Vertex]:
+def _abcore_vertices_csr(graph: BipartiteGraph, alpha: int, beta: int) -> Set[Vertex]:
+    """CSR fast path: freeze once, peel with the vectorised cascade."""
+    from repro.decomposition.csr_kernels import csr_abcore_masks
+    from repro.graph.csr import freeze
+
+    csr = freeze(graph)
+    alive_upper, alive_lower = csr_abcore_masks(csr, alpha, beta)
+    upper_handles = csr.upper_handles()
+    lower_handles = csr.lower_handles()
+    survivors = {upper_handles[i] for i in alive_upper.nonzero()[0].tolist()}
+    survivors.update(lower_handles[i] for i in alive_lower.nonzero()[0].tolist())
+    return survivors
+
+
+def abcore_vertices(
+    graph: BipartiteGraph, alpha: int, beta: int, backend: str = "auto"
+) -> Set[Vertex]:
     """Return the vertex set of the (α,β)-core of ``graph``."""
     check_thresholds(alpha, beta)
+    if resolve_backend(backend, graph) == "csr":
+        return _abcore_vertices_csr(graph, alpha, beta)
     degrees, neighbors = _adjacency_snapshot(graph)
     return peel_to_core(degrees, neighbors, alpha, beta)
 
 
-def abcore_subgraph(graph: BipartiteGraph, alpha: int, beta: int) -> BipartiteGraph:
+def abcore_subgraph(
+    graph: BipartiteGraph, alpha: int, beta: int, backend: str = "auto"
+) -> BipartiteGraph:
     """Return the (α,β)-core of ``graph`` as a new graph.
 
     The result can be empty (no vertices) when no subgraph satisfies the
     thresholds.
     """
-    survivors = abcore_vertices(graph, alpha, beta)
+    survivors = abcore_vertices(graph, alpha, beta, backend=backend)
     core = induced_subgraph(graph, survivors)
     core.name = f"{graph.name}:core({alpha},{beta})" if graph.name else f"core({alpha},{beta})"
     return core

@@ -1,0 +1,220 @@
+"""Array-native peeling kernels over :class:`~repro.graph.csr.CSRBipartiteGraph`.
+
+These are the CSR counterparts of the dict-backend algorithms in
+:mod:`repro.decomposition.abcore`, :mod:`repro.decomposition.offsets` and
+:mod:`repro.decomposition.degeneracy`.  They share one building block: a
+*vectorised frontier cascade*.  Instead of popping vertices one at a time off
+a queue or lazy heap, each round removes the entire current frontier at once,
+decrements neighbour degrees with a single ``bincount`` (or ``subtract.at``
+for sparse frontiers) and derives the next frontier from the set of touched
+vertices — so the per-vertex Python bookkeeping of the dict backend collapses
+into a handful of numpy calls per cascade depth.
+
+All kernels return plain numpy arrays indexed by the dense vertex ids of the
+frozen graph; translating back to :class:`~repro.graph.bipartite.Vertex`
+handles is the caller's job (see the ``backend=`` dispatchers).  Every kernel
+is semantically identical to its dict twin — the cross-backend agreement suite
+(``tests/test_csr_agreement.py``) asserts exact equality on randomized inputs.
+
+This module imports numpy unconditionally; callers must route through
+:func:`repro.graph.csr.resolve_backend`, which never selects the CSR backend
+when numpy is missing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.bipartite import Side
+from repro.graph.csr import CSRBipartiteGraph
+
+__all__ = [
+    "csr_abcore_masks",
+    "csr_degeneracy",
+    "csr_offsets_fixed_primary",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _expand_neighbors(indptr, indices, verts):
+    """Concatenate the CSR neighbour slices of ``verts`` (with multiplicity)."""
+    if verts.size == 1:
+        v = int(verts[0])
+        return indices[indptr[v] : indptr[v + 1]]
+    counts = indptr[verts + 1] - indptr[verts]
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    starts = indptr[verts]
+    # Positions of each slice inside the concatenated output.
+    slice_offsets = np.cumsum(counts) - counts
+    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - slice_offsets, counts)
+    return indices[flat]
+
+
+def _violators(touched, alive, degrees, threshold):
+    """Deduplicated, currently-alive vertices of ``touched`` below ``threshold``.
+
+    Filters before deduplicating (violators are usually a small fraction of
+    the touched frontier) and dedups with an in-place sort, which beats
+    ``np.unique``'s machinery on the small arrays cascades produce.
+    """
+    cand = touched[alive[touched] & (degrees[touched] < threshold)]
+    if cand.size <= 1:
+        return cand
+    cand.sort()
+    keep = np.empty(cand.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(cand[1:], cand[:-1], out=keep[1:])
+    return cand[keep]
+
+
+def _decrement(degrees, touched):
+    """``degrees[v] -= multiplicity of v in touched`` for every touched vertex."""
+    if touched.size == 0:
+        return
+    # bincount is O(n + t); ufunc.at is O(t) with a bigger constant.  Switch on
+    # frontier density so both the "one huge wave" and the "long thin chain"
+    # cascade shapes stay cheap.
+    if touched.size * 16 >= degrees.shape[0]:
+        degrees -= np.bincount(touched, minlength=degrees.shape[0])
+    else:
+        np.subtract.at(degrees, touched, 1)
+
+
+def _cascade(
+    csr: CSRBipartiteGraph,
+    alive_u,
+    alive_l,
+    deg_u,
+    deg_l,
+    thr_u: int,
+    thr_l: int,
+    seeds_u,
+    seeds_l,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Remove ``seeds`` plus everything forced out by the degree thresholds.
+
+    ``alive_*`` and ``deg_*`` are mutated in place; degrees of removed
+    vertices become meaningless (exactly like the dict-backend peeling).
+    Returns the removed vertex ids per layer, in removal-wave order.
+    """
+    removed_u = []
+    removed_l = []
+    while seeds_u.size or seeds_l.size:
+        if seeds_u.size:
+            alive_u[seeds_u] = False
+            removed_u.append(seeds_u)
+        if seeds_l.size:
+            alive_l[seeds_l] = False
+            removed_l.append(seeds_l)
+        touched_l = _expand_neighbors(csr.u_indptr, csr.u_indices, seeds_u)
+        touched_u = _expand_neighbors(csr.l_indptr, csr.l_indices, seeds_l)
+        _decrement(deg_l, touched_l)
+        _decrement(deg_u, touched_u)
+        seeds_l = _violators(touched_l, alive_l, deg_l, thr_l) if touched_l.size else _EMPTY
+        seeds_u = _violators(touched_u, alive_u, deg_u, thr_u) if touched_u.size else _EMPTY
+    cat_u = np.concatenate(removed_u) if removed_u else _EMPTY
+    cat_l = np.concatenate(removed_l) if removed_l else _EMPTY
+    return cat_u, cat_l
+
+
+def csr_abcore_masks(
+    csr: CSRBipartiteGraph, alpha: int, beta: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Boolean membership masks of the (α,β)-core, per layer.
+
+    ``masks[0][i]`` is True when upper vertex ``i`` survives the peeling;
+    symmetric for the lower layer.
+    """
+    deg_u = csr.upper_degrees().copy()
+    deg_l = csr.lower_degrees().copy()
+    alive_u = np.ones(csr.num_upper, dtype=bool)
+    alive_l = np.ones(csr.num_lower, dtype=bool)
+    seeds_u = np.flatnonzero(deg_u < alpha)
+    seeds_l = np.flatnonzero(deg_l < beta)
+    _cascade(csr, alive_u, alive_l, deg_u, deg_l, alpha, beta, seeds_u, seeds_l)
+    return alive_u, alive_l
+
+
+def csr_degeneracy(csr: CSRBipartiteGraph) -> int:
+    """δ: the largest τ with a non-empty (τ,τ)-core (0 for an edgeless graph).
+
+    Peels at τ = 1, 2, … over the *same* degree arrays — each round reuses the
+    residual (τ-1,τ-1)-core, so total work is O(δ·n + m) like the bin-sort
+    decomposition, but with whole-frontier numpy steps.
+    """
+    deg_u = csr.upper_degrees().copy()
+    deg_l = csr.lower_degrees().copy()
+    alive_u = np.ones(csr.num_upper, dtype=bool)
+    alive_l = np.ones(csr.num_lower, dtype=bool)
+    tau = 0
+    while bool(alive_u.any()) or bool(alive_l.any()):
+        tau += 1
+        seeds_u = np.flatnonzero(alive_u & (deg_u < tau))
+        seeds_l = np.flatnonzero(alive_l & (deg_l < tau))
+        _cascade(csr, alive_u, alive_l, deg_u, deg_l, tau, tau, seeds_u, seeds_l)
+    return max(tau - 1, 0)
+
+
+def csr_offsets_fixed_primary(
+    csr: CSRBipartiteGraph, primary_side: Side, threshold: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """α-offsets (``primary_side=UPPER``) or β-offsets (``LOWER``) as arrays.
+
+    Returns ``(upper_offsets, lower_offsets)``: for every vertex, the largest
+    secondary threshold under which it survives together with the fixed
+    primary ``threshold`` — the CSR twin of
+    :func:`repro.decomposition.offsets._offsets_for_fixed_primary`.
+    """
+    deg_u = csr.upper_degrees().copy()
+    deg_l = csr.lower_degrees().copy()
+    alive_u = np.ones(csr.num_upper, dtype=bool)
+    alive_l = np.ones(csr.num_lower, dtype=bool)
+    off_u = np.zeros(csr.num_upper, dtype=np.int64)
+    off_l = np.zeros(csr.num_lower, dtype=np.int64)
+
+    if primary_side is Side.UPPER:
+        thr_u, thr_l = threshold, 1
+    else:
+        thr_u, thr_l = 1, threshold
+
+    # Phase 1: reduce to the (threshold, 1)-core; dropped vertices keep 0.
+    seeds_u = np.flatnonzero(deg_u < thr_u)
+    seeds_l = np.flatnonzero(deg_l < thr_l)
+    _cascade(csr, alive_u, alive_l, deg_u, deg_l, thr_u, thr_l, seeds_u, seeds_l)
+
+    alive_sec, deg_sec = (
+        (alive_l, deg_l) if primary_side is Side.UPPER else (alive_u, deg_u)
+    )
+
+    # Phase 2: peel the secondary layer level by level.  Everything removed
+    # while the peeling target is ``level + 1`` has offset ``level``.  The
+    # alive id set is carried across iterations and re-filtered instead of
+    # re-scanning the full layer at every level.
+    alive_ids = np.flatnonzero(alive_sec)
+    level = 1
+    while alive_ids.size:
+        alive_ids = alive_ids[alive_sec[alive_ids]]
+        if alive_ids.size == 0:
+            break
+        alive_degrees = deg_sec[alive_ids]
+        min_degree = int(alive_degrees.min())
+        level = max(level, min_degree)
+        target = level + 1
+        seeds_sec = alive_ids[alive_degrees < target]
+        if primary_side is Side.UPPER:
+            removed_u, removed_l = _cascade(
+                csr, alive_u, alive_l, deg_u, deg_l, threshold, target, _EMPTY, seeds_sec
+            )
+        else:
+            removed_u, removed_l = _cascade(
+                csr, alive_u, alive_l, deg_u, deg_l, target, threshold, seeds_sec, _EMPTY
+            )
+        off_u[removed_u] = level
+        off_l[removed_l] = level
+        level = target
+    return off_u, off_l

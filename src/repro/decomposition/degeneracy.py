@@ -12,15 +12,23 @@ import math
 from repro.decomposition.abcore import abcore_vertices
 from repro.decomposition.kcore import max_core_number
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import resolve_backend
 
 __all__ = ["degeneracy", "degeneracy_by_peeling", "degeneracy_upper_bound"]
 
 
-def degeneracy(graph: BipartiteGraph) -> int:
-    """Return δ, computed through the unipartite k-core decomposition.
+def degeneracy(graph: BipartiteGraph, backend: str = "auto") -> int:
+    """Return δ, the largest τ for which the (τ,τ)-core is non-empty.
 
+    The dict backend computes it through the unipartite k-core decomposition;
+    the CSR backend peels (τ,τ)-cores directly with the vectorised cascade.
     Returns 0 for an edgeless graph (no (1,1)-core exists).
     """
+    if resolve_backend(backend, graph) == "csr":
+        from repro.decomposition.csr_kernels import csr_degeneracy
+        from repro.graph.csr import freeze
+
+        return csr_degeneracy(freeze(graph))
     return max_core_number(graph)
 
 

@@ -15,7 +15,11 @@ The computation for a fixed α is a single peeling pass:
    while the peeling threshold is β+1 has offset β.
 
 A lazy min-heap over lower-vertex degrees keeps the pass near-linear
-(O(m log m)) without the bookkeeping of a full bucket queue.
+(O(m log m)) without the bookkeeping of a full bucket queue.  That is the
+dict backend; with ``backend="csr"`` the same pass runs as a vectorised
+frontier cascade over a frozen :class:`~repro.graph.csr.CSRBipartiteGraph`
+(see :mod:`repro.decomposition.csr_kernels`), which is the hot path of index
+construction on large graphs.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from itertools import count
 from typing import Dict, Iterable, List, Tuple
 
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.csr import CSRBipartiteGraph, resolve_backend
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -34,6 +39,7 @@ __all__ = [
     "max_alpha",
     "max_beta",
     "offset_tables",
+    "offsets_dict_from_arrays",
 ]
 
 
@@ -158,16 +164,54 @@ def _offsets_for_fixed_primary(
     return offsets
 
 
-def alpha_offsets(graph: BipartiteGraph, alpha: int) -> Dict[Vertex, int]:
+def offsets_dict_from_arrays(
+    csr: CSRBipartiteGraph, upper_offsets, lower_offsets
+) -> Dict[Vertex, int]:
+    """Translate per-layer offset arrays into the dict-backend ``{Vertex: int}``.
+
+    Starts from the graph's cached all-zero prototype (copied without
+    re-hashing) and writes only the non-zero offsets; cores shrink quickly
+    with the level, so this touches a small fraction of the vertices.
+    """
+    offsets = csr.zero_offsets()
+    nz = upper_offsets.nonzero()[0]
+    if nz.size:
+        offsets.update(
+            zip(csr.upper_handle_array()[nz].tolist(), upper_offsets[nz].tolist())
+        )
+    nz = lower_offsets.nonzero()[0]
+    if nz.size:
+        offsets.update(
+            zip(csr.lower_handle_array()[nz].tolist(), lower_offsets[nz].tolist())
+        )
+    return offsets
+
+
+def _offsets_csr(
+    graph: BipartiteGraph, primary_side: Side, threshold: int
+) -> Dict[Vertex, int]:
+    from repro.decomposition.csr_kernels import csr_offsets_fixed_primary
+    from repro.graph.csr import freeze
+
+    csr = freeze(graph)
+    off_u, off_l = csr_offsets_fixed_primary(csr, primary_side, threshold)
+    return offsets_dict_from_arrays(csr, off_u, off_l)
+
+
+def alpha_offsets(graph: BipartiteGraph, alpha: int, backend: str = "auto") -> Dict[Vertex, int]:
     """Return ``sa(v, alpha)`` for every vertex of ``graph``."""
     check_positive_int(alpha, "alpha")
+    if resolve_backend(backend, graph) == "csr":
+        return _offsets_csr(graph, Side.UPPER, alpha)
     degrees, neighbors = _snapshot(graph)
     return _offsets_for_fixed_primary(degrees, neighbors, Side.UPPER, alpha)
 
 
-def beta_offsets(graph: BipartiteGraph, beta: int) -> Dict[Vertex, int]:
+def beta_offsets(graph: BipartiteGraph, beta: int, backend: str = "auto") -> Dict[Vertex, int]:
     """Return ``sb(v, beta)`` for every vertex of ``graph``."""
     check_positive_int(beta, "beta")
+    if resolve_backend(backend, graph) == "csr":
+        return _offsets_csr(graph, Side.LOWER, beta)
     degrees, neighbors = _snapshot(graph)
     return _offsets_for_fixed_primary(degrees, neighbors, Side.LOWER, beta)
 
@@ -176,15 +220,26 @@ def offset_tables(
     graph: BipartiteGraph,
     max_primary: int,
     side: Side = Side.UPPER,
+    backend: str = "auto",
 ) -> Dict[int, Dict[Vertex, int]]:
     """Offsets for every fixed threshold 1..``max_primary`` on ``side``.
 
     ``side=Side.UPPER`` yields ``{alpha: {vertex: sa(vertex, alpha)}}``; the
     symmetric call with ``side=Side.LOWER`` yields β-offset tables.  This is
     the workhorse of the basic-index and bicore-index construction and runs in
-    O(max_primary · m log m).
+    O(max_primary · m log m) on the dict backend.  The CSR backend freezes the
+    graph once and reuses the snapshot across all levels.
     """
     tables: Dict[int, Dict[Vertex, int]] = {}
+    if resolve_backend(backend, graph) == "csr":
+        from repro.decomposition.csr_kernels import csr_offsets_fixed_primary
+        from repro.graph.csr import freeze
+
+        csr = freeze(graph)
+        for threshold in range(1, max_primary + 1):
+            off_u, off_l = csr_offsets_fixed_primary(csr, side, threshold)
+            tables[threshold] = offsets_dict_from_arrays(csr, off_u, off_l)
+        return tables
     for threshold in range(1, max_primary + 1):
         degrees, neighbors = _snapshot(graph)
         tables[threshold] = _offsets_for_fixed_primary(degrees, neighbors, side, threshold)

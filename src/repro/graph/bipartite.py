@@ -103,15 +103,34 @@ class BipartiteGraph:
         edges: Iterable[Tuple[Hashable, Hashable] | EdgeTuple],
         name: str = "",
     ) -> "BipartiteGraph":
-        """Build a graph from ``(upper, lower)`` or ``(upper, lower, weight)`` tuples."""
+        """Build a graph from ``(upper, lower)`` or ``(upper, lower, weight)`` tuples.
+
+        Raises :class:`GraphError` for malformed edge tuples (wrong arity or
+        not a sequence) instead of leaking an opaque unpacking ``ValueError``.
+        """
         graph = cls(name=name)
         for edge in edges:
-            if len(edge) == 2:
+            # A bare string would "unpack" into characters; reject it early.
+            if isinstance(edge, (str, bytes)):
+                raise GraphError(
+                    f"edge {edge!r} is not a (upper, lower[, weight]) tuple"
+                )
+            try:
+                arity = len(edge)
+            except TypeError as exc:
+                raise GraphError(
+                    f"edge {edge!r} is not a (upper, lower[, weight]) tuple"
+                ) from exc
+            if arity == 2:
                 u, v = edge  # type: ignore[misc]
                 graph.add_edge(u, v)
-            else:
+            elif arity == 3:
                 u, v, w = edge  # type: ignore[misc]
                 graph.add_edge(u, v, w)
+            else:
+                raise GraphError(
+                    f"edge tuple must have 2 or 3 elements, got {arity}: {edge!r}"
+                )
         return graph
 
     def copy(self, name: Optional[str] = None) -> "BipartiteGraph":

@@ -18,10 +18,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.decomposition.offsets import alpha_offsets, beta_offsets, max_alpha, max_beta
+from repro.decomposition.offsets import (
+    alpha_offsets,
+    beta_offsets,
+    max_alpha,
+    max_beta,
+    offsets_dict_from_arrays,
+)
 from repro.exceptions import EmptyCommunityError, InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
-from repro.index.base import CommunityIndex, IndexStats
+from repro.graph.csr import resolve_backend
+from repro.index.base import CommunityIndex, IndexStats, gc_paused
 from repro.index.traversal import AdjacencyLists, IndexEntry, bfs_over_lists
 from repro.utils.timer import Timer
 from repro.utils.validation import check_query_vertex, check_thresholds
@@ -41,6 +48,9 @@ class BasicIndex(CommunityIndex):
         α-offsets); ``"beta"`` builds ``Iβ_bs``.
     max_level:
         Optional cap on the number of levels (defaults to α_max / β_max).
+    backend:
+        Construction engine (``"dict"``, ``"csr"`` or ``"auto"``); both
+        engines produce identical index structures.
     """
 
     def __init__(
@@ -48,6 +58,7 @@ class BasicIndex(CommunityIndex):
         graph: BipartiteGraph,
         direction: str = "alpha",
         max_level: Optional[int] = None,
+        backend: str = "auto",
     ) -> None:
         super().__init__(graph)
         if direction not in ("alpha", "beta"):
@@ -55,6 +66,7 @@ class BasicIndex(CommunityIndex):
                 f"direction must be 'alpha' or 'beta', got {direction!r}"
             )
         self.direction = direction
+        self._backend = resolve_backend(backend, graph)
         self._lists: Dict[int, AdjacencyLists] = {}
         self._offsets: Dict[int, Dict[Vertex, int]] = {}
         self._max_level = 0
@@ -66,32 +78,70 @@ class BasicIndex(CommunityIndex):
         graph = self._graph
         natural_max = max_alpha(graph) if self.direction == "alpha" else max_beta(graph)
         self._max_level = natural_max if max_level is None else min(max_level, natural_max)
-        offsets_fn = alpha_offsets if self.direction == "alpha" else beta_offsets
-        with Timer() as timer:
-            for level in range(1, self._max_level + 1):
-                offsets = offsets_fn(graph, level)
-                self._offsets[level] = offsets
-                level_lists: AdjacencyLists = {}
-                for vertex, offset in offsets.items():
-                    if offset < 1:
-                        continue
-                    other = vertex.side.other
-                    entries: List[IndexEntry] = []
-                    for nbr_label, weight in graph.neighbors(vertex.side, vertex.label).items():
-                        nbr = Vertex(other, nbr_label)
-                        nbr_offset = offsets[nbr]
-                        if nbr_offset >= 1:
-                            entries.append((nbr, weight, nbr_offset))
-                    entries.sort(key=lambda entry: -entry[2])
-                    level_lists[vertex] = entries
-                self._lists[level] = level_lists
+        with Timer() as timer, gc_paused():
+            if self._backend == "csr":
+                self._build_levels_csr()
+            else:
+                self._build_levels_dict()
         self._build_seconds = timer.elapsed
+
+    def _build_levels_dict(self) -> None:
+        graph = self._graph
+        offsets_fn = alpha_offsets if self.direction == "alpha" else beta_offsets
+        for level in range(1, self._max_level + 1):
+            offsets = offsets_fn(graph, level, backend="dict")
+            self._offsets[level] = offsets
+            level_lists: AdjacencyLists = {}
+            for vertex, offset in offsets.items():
+                if offset < 1:
+                    continue
+                other = vertex.side.other
+                entries: List[IndexEntry] = []
+                for nbr_label, weight in graph.neighbors(vertex.side, vertex.label).items():
+                    nbr = Vertex(other, nbr_label)
+                    nbr_offset = offsets[nbr]
+                    if nbr_offset >= 1:
+                        entries.append((nbr, weight, nbr_offset))
+                entries.sort(key=lambda entry: -entry[2])
+                level_lists[vertex] = entries
+            self._lists[level] = level_lists
+
+    def _build_levels_csr(self) -> None:
+        """Array-native construction: freeze once, reuse across all levels."""
+        from repro.decomposition.csr_kernels import csr_offsets_fixed_primary
+        from repro.graph.csr import freeze
+        from repro.index.csr_build import build_sorted_adjacency, edge_sources
+
+        csr = freeze(self._graph)
+        primary = Side.UPPER if self.direction == "alpha" else Side.LOWER
+        src_upper = edge_sources(csr, Side.UPPER)
+        src_lower = edge_sources(csr, Side.LOWER)
+        for level in range(1, self._max_level + 1):
+            off_u, off_l = csr_offsets_fixed_primary(csr, primary, level)
+            self._offsets[level] = offsets_dict_from_arrays(csr, off_u, off_l)
+            self._lists[level] = build_sorted_adjacency(
+                csr,
+                off_u >= 1,
+                off_l >= 1,
+                off_u,
+                off_l,
+                1,
+                strict=False,
+                include_empty=True,
+                src_upper=src_upper,
+                src_lower=src_lower,
+            )
 
     # ------------------------------------------------------------------ #
     @property
     def max_level(self) -> int:
         """Highest α (or β) value covered by the index."""
         return self._max_level
+
+    @property
+    def backend(self) -> str:
+        """The resolved construction backend (``"dict"`` or ``"csr"``)."""
+        return self._backend
 
     def community(self, query: Vertex, alpha: int, beta: int) -> BipartiteGraph:
         check_thresholds(alpha, beta)

@@ -1,0 +1,114 @@
+"""Array-native assembly of sorted index adjacency lists.
+
+The edge-level indexes (``BasicIndex`` and ``DegeneracyIndex``) store, per
+level, a map ``{vertex: [(neighbour, weight, neighbour_offset), ...]}`` with
+every list sorted by decreasing offset.  The dict backend builds those lists
+one vertex at a time (iterate the neighbour dict, filter, ``list.sort``); this
+module builds a whole level at once from a frozen CSR snapshot:
+
+1. expand each layer's CSR into parallel edge arrays ``(src, dst, weight)``;
+2. filter with boolean masks (list-owner membership × entry eligibility);
+3. one stable ``np.lexsort`` by ``(src, -offset)`` orders *all* lists of the
+   level simultaneously;
+4. a single linear pass materialises the Python tuples.
+
+Because ``np.lexsort`` is stable and the CSR neighbour order preserves the
+source graph's adjacency order, ties inside a list come out in exactly the
+order the dict backend produces, so both backends build *identical*
+structures — which keeps :class:`~repro.index.maintenance.DynamicDegeneracyIndex`
+(which patches these dicts in place) backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.bipartite import Side
+from repro.graph.csr import CSRBipartiteGraph
+from repro.index.traversal import AdjacencyLists
+
+__all__ = ["edge_sources", "build_sorted_adjacency"]
+
+
+def edge_sources(csr: CSRBipartiteGraph, side: Side) -> np.ndarray:
+    """Row ids of each CSR entry of ``side`` (the COO expansion of indptr)."""
+    indptr, _, _ = csr.layer(side)
+    n = csr.num_upper if side is Side.UPPER else csr.num_lower
+    return np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+
+
+def build_sorted_adjacency(
+    csr: CSRBipartiteGraph,
+    member_upper: np.ndarray,
+    member_lower: np.ndarray,
+    entry_offsets_upper: np.ndarray,
+    entry_offsets_lower: np.ndarray,
+    threshold: int,
+    strict: bool = False,
+    include_empty: bool = True,
+    src_upper: Optional[np.ndarray] = None,
+    src_lower: Optional[np.ndarray] = None,
+) -> AdjacencyLists:
+    """Build one level of sorted adjacency lists from offset arrays.
+
+    ``member_*`` are boolean masks selecting which vertices own a list;
+    ``entry_offsets_*`` give the offset attached to a vertex when it appears
+    as a *neighbour* inside someone else's list.  An entry is kept when its
+    offset is ``> threshold`` (``strict``) or ``>= threshold``.  With
+    ``include_empty`` every member vertex gets a (possibly empty) list, which
+    is what the α-half of the indexes stores; the β-half only keeps non-empty
+    lists.  ``src_upper`` / ``src_lower`` allow reusing :func:`edge_sources`
+    expansions across levels.
+    """
+    lists: AdjacencyLists = {}
+    upper_handles = csr.upper_handles()
+    lower_handles = csr.lower_handles()
+    for side in (Side.UPPER, Side.LOWER):
+        _, indices, weights = csr.layer(side)
+        if side is Side.UPPER:
+            src = src_upper if src_upper is not None else edge_sources(csr, side)
+            owner_member = member_upper
+            nbr_offsets = entry_offsets_lower
+            src_handles = upper_handles
+            dst_handle_arr = csr.lower_handle_array()
+        else:
+            src = src_lower if src_lower is not None else edge_sources(csr, side)
+            owner_member = member_lower
+            nbr_offsets = entry_offsets_upper
+            src_handles = lower_handles
+            dst_handle_arr = csr.upper_handle_array()
+        edge_offsets = nbr_offsets[indices]
+        if strict:
+            keep = owner_member[src] & (edge_offsets > threshold)
+        else:
+            keep = owner_member[src] & (edge_offsets >= threshold)
+        s = src[keep]
+        d = indices[keep]
+        w = weights[keep]
+        o = edge_offsets[keep]
+        order = np.lexsort((-o, s))
+        s = s[order]
+        if s.size == 0:
+            continue
+        d_handles = dst_handle_arr[d[order]].tolist()
+        w_list = w[order].tolist()
+        o_list = o[order].tolist()
+        # One zip() builds every entry tuple of the level at C speed; each
+        # vertex's list is then a contiguous slice of equal-src entries.
+        entries = list(zip(d_handles, w_list, o_list))
+        boundaries = np.flatnonzero(s[1:] != s[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        owners = s[starts].tolist()
+        starts = starts.tolist()
+        ends = boundaries.tolist()
+        ends.append(s.size)
+        for owner, lo, hi in zip(owners, starts, ends):
+            lists[src_handles[owner]] = entries[lo:hi]
+    if include_empty:
+        for i in np.flatnonzero(member_upper).tolist():
+            lists.setdefault(upper_handles[i], [])
+        for i in np.flatnonzero(member_lower).tolist():
+            lists.setdefault(lower_handles[i], [])
+    return lists

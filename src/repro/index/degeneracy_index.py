@@ -21,10 +21,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.decomposition.degeneracy import degeneracy
-from repro.decomposition.offsets import alpha_offsets, beta_offsets
+from repro.decomposition.offsets import alpha_offsets, beta_offsets, offsets_dict_from_arrays
 from repro.exceptions import EmptyCommunityError
-from repro.graph.bipartite import BipartiteGraph, Vertex
-from repro.index.base import CommunityIndex, IndexStats
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.csr import resolve_backend
+from repro.index.base import CommunityIndex, IndexStats, gc_paused
 from repro.index.traversal import AdjacencyLists, IndexEntry, bfs_over_lists
 from repro.utils.timer import Timer
 from repro.utils.validation import check_query_vertex, check_thresholds
@@ -33,10 +34,19 @@ __all__ = ["DegeneracyIndex"]
 
 
 class DegeneracyIndex(CommunityIndex):
-    """The paper's ``I_δ`` index with optimal (α,β)-community retrieval."""
+    """The paper's ``I_δ`` index with optimal (α,β)-community retrieval.
 
-    def __init__(self, graph: BipartiteGraph) -> None:
+    ``backend`` selects the construction engine: ``"dict"`` walks the
+    label-level adjacency, ``"csr"`` freezes the graph once and runs the
+    vectorised kernels, ``"auto"`` picks by graph size.  Both engines produce
+    identical index structures, so queries (and the incremental maintenance
+    in :class:`~repro.index.maintenance.DynamicDegeneracyIndex`) are
+    backend-agnostic.
+    """
+
+    def __init__(self, graph: BipartiteGraph, backend: str = "auto") -> None:
         super().__init__(graph)
+        self._backend = resolve_backend(backend, graph)
         self._delta = 0
         self._alpha_lists: Dict[int, AdjacencyLists] = {}
         self._beta_lists: Dict[int, AdjacencyLists] = {}
@@ -49,17 +59,69 @@ class DegeneracyIndex(CommunityIndex):
     # construction (Algorithm 3)
     # ------------------------------------------------------------------ #
     def _build(self) -> None:
-        with Timer() as timer:
-            self._delta = degeneracy(self._graph)
-            for tau in range(1, self._delta + 1):
-                self._build_level(tau)
+        with Timer() as timer, gc_paused():
+            if self._backend == "csr":
+                self._build_csr()
+            else:
+                self._delta = degeneracy(self._graph, backend="dict")
+                for tau in range(1, self._delta + 1):
+                    self._build_level(tau)
         self._build_seconds = timer.elapsed
 
+    def _build_csr(self) -> None:
+        """Array-native construction: freeze once, run every level on CSR."""
+        from repro.decomposition.csr_kernels import (
+            csr_degeneracy,
+            csr_offsets_fixed_primary,
+        )
+        from repro.graph.csr import freeze
+        from repro.index.csr_build import build_sorted_adjacency, edge_sources
+
+        csr = freeze(self._graph)
+        self._delta = csr_degeneracy(csr)
+        src_upper = edge_sources(csr, Side.UPPER)
+        src_lower = edge_sources(csr, Side.LOWER)
+        for tau in range(1, self._delta + 1):
+            sa_u, sa_l = csr_offsets_fixed_primary(csr, Side.UPPER, tau)
+            sb_u, sb_l = csr_offsets_fixed_primary(csr, Side.LOWER, tau)
+            self._alpha_offsets[tau] = offsets_dict_from_arrays(csr, sa_u, sa_l)
+            self._beta_offsets[tau] = offsets_dict_from_arrays(csr, sb_u, sb_l)
+            member_upper = sa_u >= tau
+            member_lower = sa_l >= tau
+            self._alpha_lists[tau] = build_sorted_adjacency(
+                csr,
+                member_upper,
+                member_lower,
+                sa_u,
+                sa_l,
+                tau,
+                strict=False,
+                include_empty=True,
+                src_upper=src_upper,
+                src_lower=src_lower,
+            )
+            self._beta_lists[tau] = build_sorted_adjacency(
+                csr,
+                member_upper,
+                member_lower,
+                sb_u,
+                sb_l,
+                tau,
+                strict=True,
+                include_empty=False,
+                src_upper=src_upper,
+                src_lower=src_lower,
+            )
+
     def _build_level(self, tau: int) -> None:
-        """Compute the level-τ adjacency lists of both halves of the index."""
+        """Compute the level-τ adjacency lists of both halves of the index.
+
+        Honours the index's resolved backend so an explicit ``backend="dict"``
+        build (or maintenance refresh) never routes through the CSR kernels.
+        """
         graph = self._graph
-        sa = alpha_offsets(graph, tau)
-        sb = beta_offsets(graph, tau)
+        sa = alpha_offsets(graph, tau, backend=self._backend)
+        sb = beta_offsets(graph, tau, backend=self._backend)
         self._alpha_offsets[tau] = sa
         self._beta_offsets[tau] = sb
 
@@ -95,6 +157,11 @@ class DegeneracyIndex(CommunityIndex):
     def delta(self) -> int:
         """The degeneracy of the indexed graph."""
         return self._delta
+
+    @property
+    def backend(self) -> str:
+        """The resolved construction backend (``"dict"`` or ``"csr"``)."""
+        return self._backend
 
     def _route(self, alpha: int, beta: int) -> Tuple[Dict[Vertex, int], AdjacencyLists, int]:
         """Choose the index half, level and offset requirement for a query."""

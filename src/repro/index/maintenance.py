@@ -34,10 +34,12 @@ __all__ = ["DynamicDegeneracyIndex"]
 class DynamicDegeneracyIndex(DegeneracyIndex):
     """A :class:`DegeneracyIndex` that can absorb edge insertions and removals."""
 
-    def __init__(self, graph: BipartiteGraph) -> None:
+    def __init__(self, graph: BipartiteGraph, backend: str = "auto") -> None:
         # Index a private copy so external mutation of the original graph
-        # cannot silently desynchronise the index.
-        super().__init__(graph.copy())
+        # cannot silently desynchronise the index.  Either construction
+        # backend works: both produce the same dict structures this class
+        # patches during maintenance.
+        super().__init__(graph.copy(), backend=backend)
         self._maintenance_seconds = 0.0
         self._updates_applied = 0
 
@@ -75,7 +77,7 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         return affected or None
 
     def _refresh_after_update(self, upper_label: Hashable, lower_label: Hashable) -> None:
-        new_delta = degeneracy(self._graph)
+        new_delta = degeneracy(self._graph, backend=self._backend)
         affected = self._affected_component(upper_label, lower_label)
 
         # Drop levels that no longer exist.
@@ -102,8 +104,8 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         self, tau: int, region: BipartiteGraph, affected: Set[Vertex]
     ) -> None:
         """Recompute level ``tau`` entries for the vertices of ``affected`` only."""
-        sa_region = alpha_offsets(region, tau)
-        sb_region = beta_offsets(region, tau)
+        sa_region = alpha_offsets(region, tau, backend=self._backend)
+        sb_region = beta_offsets(region, tau, backend=self._backend)
 
         sa = self._alpha_offsets.setdefault(tau, {})
         sb = self._beta_offsets.setdefault(tau, {})

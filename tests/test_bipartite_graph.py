@@ -27,6 +27,22 @@ class TestConstruction:
         assert graph.weight("u1", "v1") == 2.5
         assert graph.weight("u2", "v1") == 3.5
 
+    @pytest.mark.parametrize(
+        "bad_edge",
+        [(), ("u1",), ("u1", "v1", 1.0, "extra"), ("u1", "v1", 1.0, 2.0, 3.0)],
+    )
+    def test_from_edges_rejects_wrong_arity(self, bad_edge):
+        with pytest.raises(GraphError, match="2 or 3 elements"):
+            BipartiteGraph.from_edges([("u0", "v0"), bad_edge])
+
+    def test_from_edges_rejects_non_sequence_edge(self):
+        with pytest.raises(GraphError, match="not a .*tuple"):
+            BipartiteGraph.from_edges([("u0", "v0"), 42])  # type: ignore[list-item]
+
+    def test_from_edges_rejects_bare_string_edge(self):
+        with pytest.raises(GraphError, match="not a .*tuple"):
+            BipartiteGraph.from_edges(["uv"])  # type: ignore[list-item]
+
     def test_name_is_kept(self):
         graph = BipartiteGraph(name="demo")
         assert graph.name == "demo"
