@@ -7,6 +7,12 @@
 2. one of the search algorithms (peel / expand / binary / baseline) extracts
    the significant (α,β)-community from it.
 
+For query *streams*, :meth:`CommunitySearcher.batch_community` and
+:meth:`CommunitySearcher.batch_significant_communities` route every retrieval
+through the index's array-backed CSR query path: the index is frozen into
+flat per-level arrays once for the whole batch, answers come back in input
+order, and each element is identical to the corresponding sequential call.
+
 Example
 -------
 >>> from repro import CommunitySearcher, upper
@@ -19,10 +25,11 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.index.base import BatchQuery, apply_batch_policy, check_on_empty
 from repro.index.degeneracy_index import DegeneracyIndex
 from repro.search.baseline import scs_baseline
 from repro.search.binary import scs_binary
@@ -99,18 +106,101 @@ class CommunitySearcher:
                 f"unknown method {method!r}; expected one of {_COMMUNITY_METHODS}"
             )
         if method == "baseline":
-            answer = scs_baseline(self._graph, query, alpha, beta, epsilon=epsilon)
-            search_space = self._graph.num_edges
-            return SearchResult(
-                graph=answer,
-                query=query,
-                alpha=alpha,
-                beta=beta,
-                method=method,
-                search_space_edges=search_space,
-            )
-
+            return self._baseline_result(query, alpha, beta, epsilon)
         community = self.community(query, alpha, beta)
+        return self._extract(community, query, alpha, beta, method, epsilon)
+
+    # ------------------------------------------------------------------ #
+    # batch querying
+    # ------------------------------------------------------------------ #
+    def batch_community(
+        self,
+        queries: Iterable[BatchQuery],
+        on_empty: str = "raise",
+    ) -> List[Optional[BipartiteGraph]]:
+        """Step 1 for a whole stream of ``(query, alpha, beta)`` triples.
+
+        The underlying index is frozen into its array-backed query path once
+        and every retrieval runs the vectorised CSR BFS, so throughput on a
+        query stream is far higher than per-query :meth:`community` calls
+        (``benchmarks/bench_batch_query.py`` gates the speedup).  Results come
+        back in input order and are element-wise identical to sequential
+        calls; ``on_empty`` picks the policy for queries outside their core —
+        ``"raise"`` (default), ``"none"`` (aligned placeholder) or ``"skip"``
+        (drop).  Without numpy the stream falls back to per-query retrieval.
+        """
+        return self._index.batch_community(queries, on_empty=on_empty)
+
+    def batch_significant_communities(
+        self,
+        queries: Iterable[BatchQuery],
+        method: str = "auto",
+        epsilon: float = 2.0,
+        on_empty: str = "raise",
+    ) -> List[Optional[SearchResult]]:
+        """Step 1 + step 2 for a whole query stream, in input order.
+
+        Equivalent to calling :meth:`significant_community` per triple but
+        with the (α,β)-community retrievals routed through the batched array
+        path.  Each element of the result is exactly what the sequential call
+        returns; queries outside their core follow ``on_empty`` (``"raise"``
+        by default, ``"none"`` keeps an aligned ``None``, ``"skip"`` drops
+        the query from the output).
+        """
+        if method not in _COMMUNITY_METHODS:
+            raise InvalidParameterError(
+                f"unknown method {method!r}; expected one of {_COMMUNITY_METHODS}"
+            )
+        check_on_empty(on_empty)
+        queries = list(queries)
+        if method == "baseline":
+            return apply_batch_policy(
+                queries,
+                lambda query, alpha, beta: self._baseline_result(
+                    query, alpha, beta, epsilon
+                ),
+                on_empty,
+            )
+        communities = self._index.batch_community(
+            queries, on_empty="raise" if on_empty == "raise" else "none"
+        )
+        results = []
+        for (query, alpha, beta), community in zip(queries, communities):
+            if community is None:
+                if on_empty == "none":
+                    results.append(None)
+                continue
+            results.append(
+                self._extract(community, query, alpha, beta, method, epsilon)
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # shared step-2 machinery
+    # ------------------------------------------------------------------ #
+    def _baseline_result(
+        self, query: Vertex, alpha: int, beta: int, epsilon: float
+    ) -> SearchResult:
+        answer = scs_baseline(self._graph, query, alpha, beta, epsilon=epsilon)
+        return SearchResult(
+            graph=answer,
+            query=query,
+            alpha=alpha,
+            beta=beta,
+            method="baseline",
+            search_space_edges=self._graph.num_edges,
+        )
+
+    def _extract(
+        self,
+        community: BipartiteGraph,
+        query: Vertex,
+        alpha: int,
+        beta: int,
+        method: str,
+        epsilon: float,
+    ) -> SearchResult:
+        """Run the selected extraction algorithm over a retrieved community."""
         if method == "auto":
             threshold_ratio = min(alpha, beta) / max(1, self.degeneracy)
             method = "peel" if threshold_ratio >= 0.5 else "expand"

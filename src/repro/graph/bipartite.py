@@ -133,6 +133,27 @@ class BipartiteGraph:
                 )
         return graph
 
+    @classmethod
+    def _from_mirrored_adjacency(
+        cls,
+        upper_adj: Dict[Hashable, Dict[Hashable, float]],
+        lower_adj: Dict[Hashable, Dict[Hashable, float]],
+        num_edges: int,
+        name: str = "",
+    ) -> "BipartiteGraph":
+        """Adopt pre-built mirrored adjacency dicts without per-edge checks.
+
+        Internal fast path used by the array-backed query engine, which
+        assembles both adjacency directions from sorted edge arrays at C
+        speed.  The caller guarantees that ``upper_adj`` and ``lower_adj``
+        describe the same ``num_edges`` weighted edges.
+        """
+        graph = cls(name=name)
+        graph._adj[Side.UPPER] = upper_adj
+        graph._adj[Side.LOWER] = lower_adj
+        graph._num_edges = num_edges
+        return graph
+
     def copy(self, name: Optional[str] = None) -> "BipartiteGraph":
         """Return a deep copy of the graph (labels are shared, structure is not)."""
         clone = BipartiteGraph(name=self.name if name is None else name)

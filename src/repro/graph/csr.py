@@ -111,6 +111,7 @@ class CSRBipartiteGraph:
         "_upper_handle_arr",
         "_lower_handle_arr",
         "_zero_offsets_proto",
+        "_global_id_map",
     )
 
     def __init__(
@@ -145,6 +146,7 @@ class CSRBipartiteGraph:
         self._upper_handle_arr = None
         self._lower_handle_arr = None
         self._zero_offsets_proto: Optional[Dict[Vertex, int]] = None
+        self._global_id_map: Optional[Dict[Vertex, int]] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -292,6 +294,27 @@ class CSRBipartiteGraph:
             if side is Side.UPPER
             else self.lower_handle_array()
         )
+
+    def global_handles(self) -> List[Vertex]:
+        """Vertex handles of both layers in *global* id order (upper first).
+
+        The global id space maps upper vertex ``i`` to ``i`` and lower vertex
+        ``j`` to ``num_upper + j``; it is the vertex numbering used by the
+        flat per-level index arrays of the array-backed query engine.
+        """
+        return self.upper_handles() + self.lower_handles()
+
+    def global_id_map(self) -> Dict[Vertex, int]:
+        """A cached ``{vertex handle: global id}`` map covering every vertex.
+
+        Built once per snapshot so index construction can hand the mapping to
+        the query engine instead of re-interning every label.
+        """
+        if self._global_id_map is None:
+            self._global_id_map = {
+                handle: gid for gid, handle in enumerate(self.global_handles())
+            }
+        return self._global_id_map
 
     def zero_offsets(self) -> Dict[Vertex, int]:
         """A fresh ``{vertex: 0}`` dict covering every vertex, upper layer first.

@@ -6,11 +6,59 @@ import abc
 import contextlib
 import gc
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Vertex
 
-__all__ = ["IndexStats", "CommunityIndex", "gc_paused"]
+__all__ = [
+    "IndexStats",
+    "CommunityIndex",
+    "gc_paused",
+    "BatchQuery",
+    "ON_EMPTY_POLICIES",
+    "apply_batch_policy",
+    "check_on_empty",
+]
+
+#: One retrieval of a batch: ``(query vertex, alpha, beta)``.
+BatchQuery = Tuple[Vertex, int, int]
+
+#: Accepted values of every ``on_empty=`` parameter of the batch query APIs:
+#: ``"raise"`` propagates the first :class:`EmptyCommunityError` (the
+#: sequential semantics), ``"none"`` keeps a ``None`` placeholder so results
+#: stay aligned with the input order, ``"skip"`` silently drops the query.
+ON_EMPTY_POLICIES = ("raise", "none", "skip")
+
+
+def check_on_empty(on_empty: str) -> None:
+    """Validate an ``on_empty=`` batch policy argument."""
+    if on_empty not in ON_EMPTY_POLICIES:
+        raise InvalidParameterError(
+            f"unknown on_empty policy {on_empty!r}; expected one of {ON_EMPTY_POLICIES}"
+        )
+
+
+def apply_batch_policy(queries, answer_one, on_empty: str) -> List:
+    """Answer every ``(query, alpha, beta)`` triple under one empty-policy.
+
+    The single implementation of the ``on_empty`` semantics shared by every
+    batch entry point: ``answer_one(query, alpha, beta)`` produces one
+    answer, an :class:`EmptyCommunityError` is propagated (``"raise"``),
+    recorded as ``None`` (``"none"``) or dropped (``"skip"``); any other
+    exception always propagates.
+    """
+    check_on_empty(on_empty)
+    results: List = []
+    for query, alpha, beta in queries:
+        try:
+            results.append(answer_one(query, alpha, beta))
+        except EmptyCommunityError:
+            if on_empty == "raise":
+                raise
+            if on_empty == "none":
+                results.append(None)
+    return results
 
 
 @contextlib.contextmanager
@@ -79,6 +127,53 @@ class CommunityIndex(abc.ABC):
         Raises :class:`~repro.exceptions.EmptyCommunityError` when the query
         vertex is not contained in the (α,β)-core.
         """
+
+    def batch_community(
+        self,
+        queries: Iterable[BatchQuery],
+        on_empty: str = "raise",
+    ) -> List[Optional[BipartiteGraph]]:
+        """Answer a stream of ``(query, alpha, beta)`` triples in input order.
+
+        Generic implementation: one :meth:`community` call per query.
+        Subclasses with an array-backed query path override this to amortise
+        index freezing across the stream.  ``on_empty`` decides what happens
+        to queries outside their (α,β)-core: ``"raise"`` (default, sequential
+        semantics), ``"none"`` (aligned ``None`` placeholder) or ``"skip"``
+        (drop the query from the output).
+        """
+        return apply_batch_policy(queries, self.community, on_empty)
+
+    def query_path(self):
+        """The array-backed query engine of this index (``None`` sans numpy).
+
+        Lazily creates and caches one
+        :class:`~repro.index.traversal.ArrayQueryPath` over the indexed
+        graph's vertices; subclasses that build level arrays natively (the
+        CSR construction backend) pre-populate ``self._array_path`` instead.
+        """
+        from repro.graph.csr import HAS_NUMPY
+
+        if not HAS_NUMPY:
+            return None
+        path = getattr(self, "_array_path", None)
+        if path is None:
+            from repro.index.traversal import ArrayQueryPath
+
+            path = ArrayQueryPath(
+                self._graph.upper_labels(), self._graph.lower_labels()
+            )
+            self._array_path = path
+        return path
+
+    def _invalidate_query_arrays(self) -> None:
+        """Drop the array query path after the index structure changed.
+
+        Called by :class:`~repro.index.maintenance.DynamicDegeneracyIndex`
+        whenever an edge update patches the dict lists in place; the path is
+        rebuilt lazily from the patched lists on the next batch query.
+        """
+        self._array_path = None
 
     @abc.abstractmethod
     def stats(self) -> IndexStats:

@@ -16,7 +16,7 @@ degrees; a full-fidelity build simply omits it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.decomposition.offsets import (
     alpha_offsets,
@@ -28,7 +28,13 @@ from repro.decomposition.offsets import (
 from repro.exceptions import EmptyCommunityError, InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.csr import resolve_backend
-from repro.index.base import CommunityIndex, IndexStats, gc_paused
+from repro.index.base import (
+    BatchQuery,
+    CommunityIndex,
+    IndexStats,
+    apply_batch_policy,
+    gc_paused,
+)
 from repro.index.traversal import AdjacencyLists, IndexEntry, bfs_over_lists
 from repro.utils.timer import Timer
 from repro.utils.validation import check_query_vertex, check_thresholds
@@ -69,6 +75,7 @@ class BasicIndex(CommunityIndex):
         self._backend = resolve_backend(backend, graph)
         self._lists: Dict[int, AdjacencyLists] = {}
         self._offsets: Dict[int, Dict[Vertex, int]] = {}
+        self._array_path = None
         self._max_level = 0
         self._build_seconds = 0.0
         self._build(max_level)
@@ -143,7 +150,8 @@ class BasicIndex(CommunityIndex):
         """The resolved construction backend (``"dict"`` or ``"csr"``)."""
         return self._backend
 
-    def community(self, query: Vertex, alpha: int, beta: int) -> BipartiteGraph:
+    def _route(self, query: Vertex, alpha: int, beta: int) -> Tuple[int, int]:
+        """Validate a query and resolve its ``(level, requirement)`` pair."""
         check_thresholds(alpha, beta)
         check_query_vertex(self._graph, query)
         if self.direction == "alpha":
@@ -159,6 +167,10 @@ class BasicIndex(CommunityIndex):
                 f"index was built with max_level={self._max_level}, "
                 f"cannot answer a query at level {level}"
             )
+        return level, requirement
+
+    def community(self, query: Vertex, alpha: int, beta: int) -> BipartiteGraph:
+        level, requirement = self._route(query, alpha, beta)
         offsets = self._offsets.get(level, {})
         if offsets.get(query, 0) < requirement:
             raise EmptyCommunityError(query, alpha, beta)
@@ -168,6 +180,39 @@ class BasicIndex(CommunityIndex):
             requirement,
             name=f"C({alpha},{beta})[{query.label!r}]",
         )
+
+    def batch_community(
+        self,
+        queries: Iterable[BatchQuery],
+        on_empty: str = "raise",
+    ) -> List[Optional[BipartiteGraph]]:
+        """Batched queries through the array path (lazily converted levels).
+
+        Mirrors :meth:`DegeneracyIndex.batch_community`: each queried level is
+        flattened into arrays at most once for the whole stream; without
+        numpy the generic sequential implementation answers instead.
+        """
+        path = self.query_path()
+        if path is None:
+            return super().batch_community(queries, on_empty=on_empty)
+        cache: Dict = {}
+
+        def answer_one(query: Vertex, alpha: int, beta: int) -> BipartiteGraph:
+            level, requirement = self._route(query, alpha, beta)
+            path.ensure_level(
+                level, self._offsets.get(level, {}), self._lists.get(level, {})
+            )
+            if path.offset_of(level, query) < requirement:
+                raise EmptyCommunityError(query, alpha, beta)
+            return path.community(
+                level,
+                query,
+                requirement,
+                name=f"C({alpha},{beta})[{query.label!r}]",
+                cache=cache,
+            )
+
+        return apply_batch_policy(queries, answer_one, on_empty)
 
     def stats(self) -> IndexStats:
         entries = sum(

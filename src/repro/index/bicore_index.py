@@ -22,6 +22,7 @@ from repro.decomposition.degeneracy import degeneracy
 from repro.decomposition.offsets import alpha_offsets, beta_offsets
 from repro.exceptions import EmptyCommunityError
 from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.csr import resolve_backend
 from repro.index.base import CommunityIndex, IndexStats
 from repro.index.queries import community_from_core_vertices
 from repro.utils.timer import Timer
@@ -34,10 +35,17 @@ _SortedVertices = List[Tuple[Vertex, int]]
 
 
 class BicoreIndex(CommunityIndex):
-    """Vertex-level index over (α,β)-core membership (the paper's ``Iv``)."""
+    """Vertex-level index over (α,β)-core membership (the paper's ``Iv``).
 
-    def __init__(self, graph: BipartiteGraph) -> None:
+    ``backend`` selects the engine of the underlying degeneracy / offset
+    computations (``"dict"``, ``"csr"`` or ``"auto"``), with the same
+    semantics and validation as the edge-level indexes; the sorted membership
+    tables themselves are plain Python structures on either backend.
+    """
+
+    def __init__(self, graph: BipartiteGraph, backend: str = "auto") -> None:
         super().__init__(graph)
+        self._backend = resolve_backend(backend, graph)
         self._alpha_tables: Dict[int, _SortedVertices] = {}
         self._beta_tables: Dict[int, _SortedVertices] = {}
         self._delta = 0
@@ -47,10 +55,10 @@ class BicoreIndex(CommunityIndex):
     # ------------------------------------------------------------------ #
     def _build(self) -> None:
         with Timer() as timer:
-            self._delta = degeneracy(self._graph)
+            self._delta = degeneracy(self._graph, backend=self._backend)
             for tau in range(1, self._delta + 1):
-                sa = alpha_offsets(self._graph, tau)
-                sb = beta_offsets(self._graph, tau)
+                sa = alpha_offsets(self._graph, tau, backend=self._backend)
+                sb = beta_offsets(self._graph, tau, backend=self._backend)
                 self._alpha_tables[tau] = sorted(
                     ((v, off) for v, off in sa.items() if off >= 1),
                     key=lambda item: -item[1],
@@ -66,6 +74,11 @@ class BicoreIndex(CommunityIndex):
     def delta(self) -> int:
         """The degeneracy of the indexed graph."""
         return self._delta
+
+    @property
+    def backend(self) -> str:
+        """The resolved construction backend (``"dict"`` or ``"csr"``)."""
+        return self._backend
 
     def core_vertices(self, alpha: int, beta: int) -> Set[Vertex]:
         """Return ``V(R_{α,β})`` in time linear in its size."""

@@ -1,4 +1,4 @@
-"""Array-native assembly of sorted index adjacency lists.
+"""Array-native assembly of sorted index adjacency lists and level arrays.
 
 The edge-level indexes (``BasicIndex`` and ``DegeneracyIndex``) store, per
 level, a map ``{vertex: [(neighbour, weight, neighbour_offset), ...]}`` with
@@ -17,19 +17,65 @@ source graph's adjacency order, ties inside a list come out in exactly the
 order the dict backend produces, so both backends build *identical*
 structures — which keeps :class:`~repro.index.maintenance.DynamicDegeneracyIndex`
 (which patches these dicts in place) backend-agnostic.
+
+The same sorted edge arrays also feed :class:`LevelArrays`, the flat CSR-like
+representation of one index level consumed by the array-backed query path
+(:mod:`repro.index.traversal`): per-vertex entry slices over parallel
+``entry_vertex`` / ``entry_weight`` / ``entry_offset`` arrays in a *global*
+vertex id space (upper vertex ``i`` ↦ ``i``, lower vertex ``j`` ↦
+``num_upper + j``).  :func:`level_arrays_from_dicts` derives the identical
+structure from the dict adjacency lists, so dict-built (and incrementally
+maintained) indexes can serve the array query path too.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.graph.bipartite import Side
+from repro.graph.bipartite import Side, Vertex
 from repro.graph.csr import CSRBipartiteGraph
 from repro.index.traversal import AdjacencyLists
 
-__all__ = ["edge_sources", "build_sorted_adjacency"]
+__all__ = [
+    "edge_sources",
+    "build_sorted_adjacency",
+    "assemble_sorted_adjacency",
+    "LevelArrays",
+    "level_side_entries",
+    "build_level_arrays",
+    "level_arrays_from_dicts",
+]
+
+#: Per-side filtered edge arrays sorted by (owner id, decreasing offset):
+#: ``{side: (owner_ids, neighbour_ids, weights, neighbour_offsets)}``.
+SideEntries = Dict[Side, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class LevelArrays:
+    """One index level flattened into parallel arrays with per-vertex slices.
+
+    Vertices are numbered in the global id space (upper layer first).  The
+    entries of vertex ``g`` occupy ``indptr[g]:indptr[g + 1]`` in the three
+    parallel entry arrays, sorted by decreasing ``entry_offset`` — the array
+    analogue of one level of the sorted dict adjacency lists.  ``offsets``
+    holds the per-vertex offset at this level, indexed by global id, for O(1)
+    core-membership checks.
+    """
+
+    num_upper: int
+    indptr: np.ndarray
+    entry_vertex: np.ndarray
+    entry_weight: np.ndarray
+    entry_offset: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.entry_vertex.shape[0])
 
 
 def edge_sources(csr: CSRBipartiteGraph, side: Side) -> np.ndarray:
@@ -37,6 +83,53 @@ def edge_sources(csr: CSRBipartiteGraph, side: Side) -> np.ndarray:
     indptr, _, _ = csr.layer(side)
     n = csr.num_upper if side is Side.UPPER else csr.num_lower
     return np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+
+
+def level_side_entries(
+    csr: CSRBipartiteGraph,
+    member_upper: np.ndarray,
+    member_lower: np.ndarray,
+    entry_offsets_upper: np.ndarray,
+    entry_offsets_lower: np.ndarray,
+    threshold: int,
+    strict: bool = False,
+    src_upper: Optional[np.ndarray] = None,
+    src_lower: Optional[np.ndarray] = None,
+) -> SideEntries:
+    """Filter and sort one level's eligible edges, per adjacency direction.
+
+    ``member_*`` are boolean masks selecting which vertices own a list;
+    ``entry_offsets_*`` give the offset attached to a vertex when it appears
+    as a *neighbour* inside someone else's list.  An entry is kept when its
+    offset is ``> threshold`` (``strict``) or ``>= threshold``.  Each side's
+    arrays come out sorted by ``(owner id, decreasing offset)`` with the
+    source adjacency order as the (stable) tie-break — the shared input of
+    both the dict-list assembly and the flat level arrays.  ``src_upper`` /
+    ``src_lower`` allow reusing :func:`edge_sources` expansions across levels.
+    """
+    entries: SideEntries = {}
+    for side in (Side.UPPER, Side.LOWER):
+        _, indices, weights = csr.layer(side)
+        if side is Side.UPPER:
+            src = src_upper if src_upper is not None else edge_sources(csr, side)
+            owner_member = member_upper
+            nbr_offsets = entry_offsets_lower
+        else:
+            src = src_lower if src_lower is not None else edge_sources(csr, side)
+            owner_member = member_lower
+            nbr_offsets = entry_offsets_upper
+        edge_offsets = nbr_offsets[indices]
+        if strict:
+            keep = owner_member[src] & (edge_offsets > threshold)
+        else:
+            keep = owner_member[src] & (edge_offsets >= threshold)
+        s = src[keep]
+        d = indices[keep]
+        w = weights[keep]
+        o = edge_offsets[keep]
+        order = np.lexsort((-o, s))
+        entries[side] = (s[order], d[order], w[order], o[order])
+    return entries
 
 
 def build_sorted_adjacency(
@@ -53,48 +146,57 @@ def build_sorted_adjacency(
 ) -> AdjacencyLists:
     """Build one level of sorted adjacency lists from offset arrays.
 
-    ``member_*`` are boolean masks selecting which vertices own a list;
-    ``entry_offsets_*`` give the offset attached to a vertex when it appears
-    as a *neighbour* inside someone else's list.  An entry is kept when its
-    offset is ``> threshold`` (``strict``) or ``>= threshold``.  With
-    ``include_empty`` every member vertex gets a (possibly empty) list, which
-    is what the α-half of the indexes stores; the β-half only keeps non-empty
-    lists.  ``src_upper`` / ``src_lower`` allow reusing :func:`edge_sources`
-    expansions across levels.
+    Convenience wrapper: :func:`level_side_entries` followed by
+    :func:`assemble_sorted_adjacency`.  Callers that also need the flat
+    :class:`LevelArrays` of the level call the two stages themselves and
+    share the filtered/sorted arrays with :func:`build_level_arrays`, paying
+    for the masking and sorting only once per level.
+    """
+    side_entries = level_side_entries(
+        csr,
+        member_upper,
+        member_lower,
+        entry_offsets_upper,
+        entry_offsets_lower,
+        threshold,
+        strict=strict,
+        src_upper=src_upper,
+        src_lower=src_lower,
+    )
+    return assemble_sorted_adjacency(
+        csr, member_upper, member_lower, include_empty, side_entries
+    )
+
+
+def assemble_sorted_adjacency(
+    csr: CSRBipartiteGraph,
+    member_upper: np.ndarray,
+    member_lower: np.ndarray,
+    include_empty: bool,
+    side_entries: SideEntries,
+) -> AdjacencyLists:
+    """Materialise the dict adjacency lists of one level from sorted entries.
+
+    With ``include_empty`` every member vertex gets a (possibly empty) list,
+    which is what the α-half of the indexes stores; the β-half only keeps
+    non-empty lists.
     """
     lists: AdjacencyLists = {}
     upper_handles = csr.upper_handles()
     lower_handles = csr.lower_handles()
     for side in (Side.UPPER, Side.LOWER):
-        _, indices, weights = csr.layer(side)
+        s, d, w, o = side_entries[side]
         if side is Side.UPPER:
-            src = src_upper if src_upper is not None else edge_sources(csr, side)
-            owner_member = member_upper
-            nbr_offsets = entry_offsets_lower
             src_handles = upper_handles
             dst_handle_arr = csr.lower_handle_array()
         else:
-            src = src_lower if src_lower is not None else edge_sources(csr, side)
-            owner_member = member_lower
-            nbr_offsets = entry_offsets_upper
             src_handles = lower_handles
             dst_handle_arr = csr.upper_handle_array()
-        edge_offsets = nbr_offsets[indices]
-        if strict:
-            keep = owner_member[src] & (edge_offsets > threshold)
-        else:
-            keep = owner_member[src] & (edge_offsets >= threshold)
-        s = src[keep]
-        d = indices[keep]
-        w = weights[keep]
-        o = edge_offsets[keep]
-        order = np.lexsort((-o, s))
-        s = s[order]
         if s.size == 0:
             continue
-        d_handles = dst_handle_arr[d[order]].tolist()
-        w_list = w[order].tolist()
-        o_list = o[order].tolist()
+        d_handles = dst_handle_arr[d].tolist()
+        w_list = w.tolist()
+        o_list = o.tolist()
         # One zip() builds every entry tuple of the level at C speed; each
         # vertex's list is then a contiguous slice of equal-src entries.
         entries = list(zip(d_handles, w_list, o_list))
@@ -112,3 +214,95 @@ def build_sorted_adjacency(
         for i in np.flatnonzero(member_lower).tolist():
             lists.setdefault(lower_handles[i], [])
     return lists
+
+
+def build_level_arrays(
+    csr: CSRBipartiteGraph,
+    entry_offsets_upper: np.ndarray,
+    entry_offsets_lower: np.ndarray,
+    side_entries: SideEntries,
+) -> LevelArrays:
+    """Assemble the flat :class:`LevelArrays` of one level, array-natively.
+
+    ``side_entries`` must come from :func:`level_side_entries` for the same
+    level.  Because each side's arrays are already sorted by owner id and all
+    upper global ids precede all lower global ids, concatenating the two
+    sides yields the globally ordered entry arrays directly; only a bincount
+    and a cumulative sum are needed for the slice boundaries.
+    """
+    num_upper = csr.num_upper
+    num_vertices = num_upper + csr.num_lower
+    s_u, d_u, w_u, o_u = side_entries[Side.UPPER]
+    s_l, d_l, w_l, o_l = side_entries[Side.LOWER]
+    owners = np.concatenate((s_u, s_l + num_upper))
+    entry_vertex = np.concatenate((d_u + num_upper, d_l))
+    entry_weight = np.concatenate((w_u, w_l)).astype(np.float64, copy=False)
+    entry_offset = np.concatenate((o_u, o_l)).astype(np.int64, copy=False)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    if owners.size:
+        np.cumsum(np.bincount(owners, minlength=num_vertices), out=indptr[1:])
+    offsets = np.concatenate(
+        (entry_offsets_upper, entry_offsets_lower)
+    ).astype(np.int64, copy=False)
+    return LevelArrays(
+        num_upper=num_upper,
+        indptr=indptr,
+        entry_vertex=entry_vertex.astype(np.int64, copy=False),
+        entry_weight=entry_weight,
+        entry_offset=entry_offset,
+        offsets=offsets,
+    )
+
+
+def level_arrays_from_dicts(
+    offsets: Mapping[Vertex, int],
+    lists: AdjacencyLists,
+    global_ids: Mapping[Vertex, int],
+    num_upper: int,
+    num_vertices: int,
+) -> LevelArrays:
+    """Derive the flat :class:`LevelArrays` of one level from dict structures.
+
+    This is the bridge that lets dict-built indexes — including incrementally
+    maintained ones, whose lists are patched in place — serve the array query
+    path: one O(entries) conversion per level, amortised across a batch of
+    queries.  Vertices absent from ``global_ids`` (stale zero-offset entries
+    left behind by graph shrinkage) are skipped.
+    """
+    counts = np.zeros(num_vertices, dtype=np.int64)
+    for vertex, entries in lists.items():
+        gid = global_ids.get(vertex)
+        if gid is not None:
+            counts[gid] = len(entries)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    total = int(indptr[-1])
+    entry_vertex = np.zeros(total, dtype=np.int64)
+    entry_weight = np.zeros(total, dtype=np.float64)
+    entry_offset = np.zeros(total, dtype=np.int64)
+    for vertex, entries in lists.items():
+        if not entries:
+            continue
+        gid = global_ids.get(vertex)
+        if gid is None:
+            continue
+        lo = int(indptr[gid])
+        hi = lo + len(entries)
+        neighbours, weights, offs = zip(*entries)
+        entry_vertex[lo:hi] = [global_ids[nbr] for nbr in neighbours]
+        entry_weight[lo:hi] = weights
+        entry_offset[lo:hi] = offs
+    offset_arr = np.zeros(num_vertices, dtype=np.int64)
+    for vertex, offset in offsets.items():
+        if offset:
+            gid = global_ids.get(vertex)
+            if gid is not None:
+                offset_arr[gid] = offset
+    return LevelArrays(
+        num_upper=num_upper,
+        indptr=indptr,
+        entry_vertex=entry_vertex,
+        entry_weight=entry_weight,
+        entry_offset=entry_offset,
+        offsets=offset_arr,
+    )

@@ -18,15 +18,26 @@ O(δ·m) entries.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.decomposition.degeneracy import degeneracy
 from repro.decomposition.offsets import alpha_offsets, beta_offsets, offsets_dict_from_arrays
 from repro.exceptions import EmptyCommunityError
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.csr import resolve_backend
-from repro.index.base import CommunityIndex, IndexStats, gc_paused
-from repro.index.traversal import AdjacencyLists, IndexEntry, bfs_over_lists
+from repro.index.base import (
+    BatchQuery,
+    CommunityIndex,
+    IndexStats,
+    apply_batch_policy,
+    gc_paused,
+)
+from repro.index.traversal import (
+    AdjacencyLists,
+    ArrayQueryPath,
+    IndexEntry,
+    bfs_over_lists,
+)
 from repro.utils.timer import Timer
 from repro.utils.validation import check_query_vertex, check_thresholds
 
@@ -52,6 +63,7 @@ class DegeneracyIndex(CommunityIndex):
         self._beta_lists: Dict[int, AdjacencyLists] = {}
         self._alpha_offsets: Dict[int, Dict[Vertex, int]] = {}
         self._beta_offsets: Dict[int, Dict[Vertex, int]] = {}
+        self._array_path: Optional[ArrayQueryPath] = None
         self._build_seconds = 0.0
         self._build()
 
@@ -69,18 +81,32 @@ class DegeneracyIndex(CommunityIndex):
         self._build_seconds = timer.elapsed
 
     def _build_csr(self) -> None:
-        """Array-native construction: freeze once, run every level on CSR."""
+        """Array-native construction: freeze once, run every level on CSR.
+
+        Each level is materialised twice from the same filtered/sorted edge
+        arrays: as the dict adjacency lists every query and maintenance code
+        path understands, and as the flat :class:`LevelArrays` the array
+        query path consumes — so batch queries never pay a conversion.
+        """
         from repro.decomposition.csr_kernels import (
             csr_degeneracy,
             csr_offsets_fixed_primary,
         )
         from repro.graph.csr import freeze
-        from repro.index.csr_build import build_sorted_adjacency, edge_sources
+        from repro.index.csr_build import (
+            assemble_sorted_adjacency,
+            build_level_arrays,
+            edge_sources,
+            level_side_entries,
+        )
 
         csr = freeze(self._graph)
         self._delta = csr_degeneracy(csr)
         src_upper = edge_sources(csr, Side.UPPER)
         src_lower = edge_sources(csr, Side.LOWER)
+        path = ArrayQueryPath(
+            csr.upper_labels, csr.lower_labels, global_ids=csr.global_id_map()
+        )
         for tau in range(1, self._delta + 1):
             sa_u, sa_l = csr_offsets_fixed_primary(csr, Side.UPPER, tau)
             sb_u, sb_l = csr_offsets_fixed_primary(csr, Side.LOWER, tau)
@@ -88,7 +114,7 @@ class DegeneracyIndex(CommunityIndex):
             self._beta_offsets[tau] = offsets_dict_from_arrays(csr, sb_u, sb_l)
             member_upper = sa_u >= tau
             member_lower = sa_l >= tau
-            self._alpha_lists[tau] = build_sorted_adjacency(
+            alpha_entries = level_side_entries(
                 csr,
                 member_upper,
                 member_lower,
@@ -96,11 +122,10 @@ class DegeneracyIndex(CommunityIndex):
                 sa_l,
                 tau,
                 strict=False,
-                include_empty=True,
                 src_upper=src_upper,
                 src_lower=src_lower,
             )
-            self._beta_lists[tau] = build_sorted_adjacency(
+            beta_entries = level_side_entries(
                 csr,
                 member_upper,
                 member_lower,
@@ -108,10 +133,22 @@ class DegeneracyIndex(CommunityIndex):
                 sb_l,
                 tau,
                 strict=True,
-                include_empty=False,
                 src_upper=src_upper,
                 src_lower=src_lower,
             )
+            self._alpha_lists[tau] = assemble_sorted_adjacency(
+                csr, member_upper, member_lower, True, alpha_entries
+            )
+            self._beta_lists[tau] = assemble_sorted_adjacency(
+                csr, member_upper, member_lower, False, beta_entries
+            )
+            path.set_level(
+                ("alpha", tau), build_level_arrays(csr, sa_u, sa_l, alpha_entries)
+            )
+            path.set_level(
+                ("beta", tau), build_level_arrays(csr, sb_u, sb_l, beta_entries)
+            )
+        self._array_path = path
 
     def _build_level(self, tau: int) -> None:
         """Compute the level-τ adjacency lists of both halves of the index.
@@ -191,6 +228,65 @@ class DegeneracyIndex(CommunityIndex):
             query,
             requirement,
             name=f"C({alpha},{beta})[{query.label!r}]",
+        )
+
+    # ------------------------------------------------------------------ #
+    # array-backed query path (batch Qopt)
+    # ------------------------------------------------------------------ #
+    def _array_community(
+        self,
+        path: ArrayQueryPath,
+        query: Vertex,
+        alpha: int,
+        beta: int,
+        cache: Optional[Dict] = None,
+    ) -> BipartiteGraph:
+        """``Qopt`` over the flat level arrays; same answers as dict lists."""
+        check_thresholds(alpha, beta)
+        check_query_vertex(self._graph, query)
+        if min(alpha, beta) > self._delta:
+            raise EmptyCommunityError(query, alpha, beta)
+        if alpha <= beta:
+            key, requirement = ("alpha", alpha), beta
+            path.ensure_level(key, self._alpha_offsets[alpha], self._alpha_lists[alpha])
+        else:
+            key, requirement = ("beta", beta), alpha
+            path.ensure_level(key, self._beta_offsets[beta], self._beta_lists[beta])
+        if path.offset_of(key, query) < requirement:
+            raise EmptyCommunityError(query, alpha, beta)
+        return path.community(
+            key,
+            query,
+            requirement,
+            name=f"C({alpha},{beta})[{query.label!r}]",
+            cache=cache,
+        )
+
+    def batch_community(
+        self,
+        queries: Iterable[BatchQuery],
+        on_empty: str = "raise",
+    ) -> List[Optional[BipartiteGraph]]:
+        """Answer many ``(query, alpha, beta)`` triples through the array path.
+
+        The index is frozen into flat per-level arrays at most once for the
+        whole stream (natively for CSR-built indexes, lazily per touched
+        level otherwise) and every retrieval reuses the same visited scratch,
+        so per-query cost is the vectorised BFS plus the answer allocation.
+        Falls back to the generic sequential implementation without numpy.
+        Results are element-wise identical to per-query :meth:`community`
+        calls; see :meth:`CommunityIndex.batch_community` for ``on_empty``.
+        """
+        path = self.query_path()
+        if path is None:
+            return super().batch_community(queries, on_empty=on_empty)
+        cache: Dict = {}
+        return apply_batch_policy(
+            queries,
+            lambda query, alpha, beta: self._array_community(
+                path, query, alpha, beta, cache=cache
+            ),
+            on_empty,
         )
 
     def vertices_in_core(self, alpha: int, beta: int) -> List[Vertex]:

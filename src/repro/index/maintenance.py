@@ -42,6 +42,14 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         super().__init__(graph.copy(), backend=backend)
         self._maintenance_seconds = 0.0
         self._updates_applied = 0
+        # Vertices isolated from the start are the only ones besides an
+        # update's own endpoints that discard_isolated() can ever drop; track
+        # them once so their index entries are purged when that happens.
+        self._pending_isolated: List[Vertex] = [
+            vertex
+            for vertex in self._graph.vertices()
+            if self._graph.degree_of(vertex) == 0
+        ]
 
     # ------------------------------------------------------------------ #
     # public update API
@@ -76,9 +84,50 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
                 affected |= self._graph.connected_component_vertices(vertex)
         return affected or None
 
+    def _vanished_vertices(
+        self, upper_label: Hashable, lower_label: Hashable
+    ) -> Tuple[Vertex, ...]:
+        """Vertices dropped from the graph by the current update.
+
+        Removing an edge can newly isolate (and thus discard) only its own
+        two endpoints; the only other vertices ``discard_isolated`` can drop
+        are the ones isolated since construction, tracked in
+        ``self._pending_isolated``.  Together these are the only vertices
+        whose index entries can go stale without being covered by the
+        affected-component refresh.
+        """
+        candidates = [Vertex(Side.UPPER, upper_label), Vertex(Side.LOWER, lower_label)]
+        if self._pending_isolated:
+            candidates.extend(self._pending_isolated)
+            self._pending_isolated = [
+                vertex
+                for vertex in self._pending_isolated
+                if self._graph.has_vertex(vertex.side, vertex.label)
+            ]
+        return tuple(
+            vertex
+            for vertex in candidates
+            if not self._graph.has_vertex(vertex.side, vertex.label)
+        )
+
+    def _purge_vertices(self, vertices: Tuple[Vertex, ...]) -> None:
+        """Drop every index entry owned by ``vertices`` at every level."""
+        if not vertices:
+            return
+        for stores in (
+            self._alpha_offsets,
+            self._beta_offsets,
+            self._alpha_lists,
+            self._beta_lists,
+        ):
+            for level in stores.values():
+                for vertex in vertices:
+                    level.pop(vertex, None)
+
     def _refresh_after_update(self, upper_label: Hashable, lower_label: Hashable) -> None:
         new_delta = degeneracy(self._graph, backend=self._backend)
         affected = self._affected_component(upper_label, lower_label)
+        self._invalidate_query_arrays()
 
         # Drop levels that no longer exist.
         for tau in range(new_delta + 1, self._delta + 1):
@@ -89,6 +138,10 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
 
         previous_delta = self._delta
         self._delta = new_delta
+        # Vertices discarded by the update must be purged even when no
+        # component is left to refresh (e.g. removing an isolated degree-1 /
+        # degree-1 edge): otherwise vertices_in_core keeps reporting them.
+        self._purge_vertices(self._vanished_vertices(upper_label, lower_label))
         if affected is None:
             return
 
@@ -112,21 +165,16 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         alpha_lists = self._alpha_lists.setdefault(tau, {})
         beta_lists = self._beta_lists.setdefault(tau, {})
 
-        # Remove stale entries for affected vertices, then re-add them.
+        # Remove stale entries for affected vertices, then re-add them.  Only
+        # the affected region (plus the update's endpoints, purged upfront in
+        # _refresh_after_update) can hold stale entries, so no whole-store
+        # sweep is needed — that sweep used to cost O(δ·n) per edge update
+        # regardless of how small the touched component was.
         for vertex in affected:
             sa.pop(vertex, None)
             sb.pop(vertex, None)
             alpha_lists.pop(vertex, None)
             beta_lists.pop(vertex, None)
-        # Vertices that disappeared from the graph entirely must not linger.
-        for store in (sa, sb):
-            stale = [v for v in store if not self._graph.has_vertex(v.side, v.label)]
-            for v in stale:
-                del store[v]
-        for store in (alpha_lists, beta_lists):
-            stale = [v for v in store if not self._graph.has_vertex(v.side, v.label)]
-            for v in stale:
-                del store[v]
 
         for vertex, offset in sa_region.items():
             sa[vertex] = offset

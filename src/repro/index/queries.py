@@ -14,7 +14,7 @@ from typing import Set
 
 from repro.decomposition.abcore import abcore_vertices
 from repro.exceptions import EmptyCommunityError
-from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.utils.validation import check_query_vertex, check_thresholds
 
 __all__ = ["online_community_query", "community_from_core_vertices"]
@@ -41,14 +41,17 @@ def community_from_core_vertices(
     while queue:
         vertex = queue.popleft()
         other = vertex.side.other
+        is_upper = vertex.side is Side.UPPER
         for nbr_label, weight in graph.neighbors(vertex.side, vertex.label).items():
             nbr = Vertex(other, nbr_label)
             if nbr not in core_vertices:
                 continue
-            if vertex.side.name == "UPPER":
+            # Each community edge is seen from both endpoints during the BFS;
+            # adding it only from its upper endpoint (which is always visited,
+            # since both endpoints lie in the connected answer) inserts every
+            # edge exactly once instead of twice.
+            if is_upper:
                 community.add_edge(vertex.label, nbr_label, weight)
-            else:
-                community.add_edge(nbr_label, vertex.label, weight)
             if nbr not in seen:
                 seen.add(nbr)
                 queue.append(nbr)

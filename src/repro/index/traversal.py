@@ -1,4 +1,4 @@
-"""Shared BFS over sorted index adjacency lists.
+"""Shared BFS over sorted index adjacency lists — and their array form.
 
 Both the basic indexes and the degeneracy-bounded index answer queries the
 same way (Algorithm 2 of the paper): starting from the query vertex, walk the
@@ -6,16 +6,40 @@ pre-sorted adjacency lists, stopping the scan of each list as soon as an
 offset drops below the query requirement.  Because a list entry is touched
 only when it corresponds to an edge of the answer, the traversal runs in
 O(size(C_{α,β}(q))) time.
+
+:func:`bfs_over_lists` is the dict-backend implementation.
+:func:`bfs_over_arrays` answers the same query over the flat per-level
+:class:`~repro.index.csr_build.LevelArrays`: whole frontiers are expanded
+with vectorised gathers, per-vertex qualifying prefixes are found with a
+binary search on the sorted offsets (preserving the answer-size bound up to a
+logarithmic factor), and the answer graph is assembled from sorted edge
+arrays instead of per-edge ``add_edge`` calls.  :class:`ArrayQueryPath`
+bundles the levels of one index with the interned id space and a reusable
+visited bitmap, which is what makes batched query streams cheap: the index is
+"frozen" into arrays once and every retrieval allocates only its answer.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, List, Set, Tuple
+from itertools import islice
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.csr import HAS_NUMPY
 
-__all__ = ["IndexEntry", "AdjacencyLists", "bfs_over_lists"]
+if HAS_NUMPY:  # pragma: no branch - trivial import guard
+    import numpy as np
+else:  # pragma: no cover - environment without numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "IndexEntry",
+    "AdjacencyLists",
+    "bfs_over_lists",
+    "bfs_over_arrays",
+    "ArrayQueryPath",
+]
 
 # (neighbour handle, edge weight, neighbour offset at this index level)
 IndexEntry = Tuple[Vertex, float, int]
@@ -50,3 +74,262 @@ def bfs_over_lists(
                 seen.add(nbr)
                 queue.append(nbr)
     return community
+
+
+def _qualifying_counts(level, frontier, requirement):
+    """Entries of each frontier vertex whose offset meets ``requirement``.
+
+    Slices are sorted by decreasing offset, so the qualifying entries form a
+    prefix.  The common case — the whole slice qualifies — is detected with
+    one vectorised gather of each slice's minimum offset; only the remaining
+    vertices pay a binary search, keeping the scan within the answer size up
+    to a logarithmic factor (no full-list walks past the cut-off).
+    """
+    indptr = level.indptr
+    entry_offset = level.entry_offset
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    nonempty = counts > 0
+    if entry_offset.size:
+        last = np.where(nonempty, starts + counts - 1, 0)
+        full = nonempty & (entry_offset[last] >= requirement)
+    else:
+        full = np.zeros(frontier.shape[0], dtype=bool)
+    for i in np.flatnonzero(nonempty & ~full).tolist():
+        lo = int(starts[i])
+        hi = lo + int(counts[i])
+        ascending = entry_offset[lo:hi][::-1]
+        counts[i] = (hi - lo) - int(
+            np.searchsorted(ascending, requirement, side="left")
+        )
+    return starts, counts
+
+
+def _grouped_adjacency(owners, owner_label_arr, other_labels, weights):
+    """``{owner label: {other label: weight}}`` from contiguous owner runs.
+
+    ``owners`` must list each distinct owner in one contiguous run (BFS
+    expansion order for the upper direction, a sorted array for the mirror);
+    the inner dicts are then built by draining one shared pair iterator with
+    ``islice`` — no per-owner slice copies, no per-edge ``add_edge`` calls.
+    """
+    boundaries = np.flatnonzero(owners[1:] != owners[:-1]) + 1
+    run_starts = np.concatenate(([0], boundaries))
+    run_counts = np.diff(np.concatenate((run_starts, [owners.shape[0]])))
+    labels = owner_label_arr[owners[run_starts]].tolist()
+    pairs = zip(other_labels, weights)
+    return {
+        label: dict(islice(pairs, count))
+        for label, count in zip(labels, run_counts.tolist())
+    }
+
+
+def _graph_from_edge_arrays(src, dst, weight, upper_label_arr, lower_label_arr, name):
+    """Materialise a :class:`BipartiteGraph` from parallel edge-id arrays.
+
+    The upper direction needs no sort at all: every upper vertex is expanded
+    in exactly one BFS round, so its edges are already contiguous in ``src``.
+    The mirror direction pays a single stable sort by lower id.
+    """
+    upper_adj = _grouped_adjacency(
+        src, upper_label_arr, lower_label_arr[dst].tolist(), weight.tolist()
+    )
+    order = np.argsort(dst, kind="stable")
+    lower_adj = _grouped_adjacency(
+        dst[order],
+        lower_label_arr,
+        upper_label_arr[src[order]].tolist(),
+        weight[order].tolist(),
+    )
+    return BipartiteGraph._from_mirrored_adjacency(
+        upper_adj, lower_adj, num_edges=int(src.shape[0]), name=name
+    )
+
+
+def bfs_over_arrays(
+    level,
+    query_id: int,
+    requirement: int,
+    upper_label_arr,
+    lower_label_arr,
+    visited=None,
+    name: str = "",
+    return_members: bool = False,
+):
+    """Collect the community of the vertex ``query_id`` from one
+    :class:`~repro.index.csr_build.LevelArrays` level.
+
+    The array twin of :func:`bfs_over_lists`: identical answers, but whole
+    frontiers are expanded per round with vectorised gathers and every edge is
+    emitted exactly once (from its upper endpoint, which the connected answer
+    always visits).  ``visited`` may supply a reusable boolean scratch array
+    of length ``level.offsets.shape[0]``; it is restored to all-``False``
+    before returning, so a batch of queries can share one allocation.  With
+    ``return_members`` the result is a ``(community, member global ids)``
+    pair, which lets batch callers memoise whole connected components.
+    """
+    num_upper = level.num_upper
+    indptr = level.indptr
+    entry_vertex = level.entry_vertex
+    entry_weight = level.entry_weight
+    if visited is None:
+        visited = np.zeros(level.offsets.shape[0], dtype=bool)
+    visited[query_id] = True
+    frontier = np.array([query_id], dtype=np.int64)
+    seen_parts = [frontier]
+    src_parts: List = []
+    dst_parts: List = []
+    weight_parts: List = []
+    while frontier.size:
+        starts, counts = _qualifying_counts(level, frontier, requirement)
+        total = int(counts.sum())
+        if total == 0:
+            break
+        segment_starts = np.cumsum(counts) - counts
+        positions = np.repeat(starts - segment_starts, counts) + np.arange(total)
+        neighbours = entry_vertex[positions]
+        sources = np.repeat(frontier, counts)
+        from_upper = sources < num_upper
+        src_parts.append(sources[from_upper])
+        dst_parts.append(neighbours[from_upper] - num_upper)
+        weight_parts.append(entry_weight[positions[from_upper]])
+        unseen = neighbours[~visited[neighbours]]
+        if unseen.size:
+            frontier = np.unique(unseen)
+            visited[frontier] = True
+            seen_parts.append(frontier)
+        else:
+            frontier = unseen
+    members = np.concatenate(seen_parts)
+    visited[members] = False
+    if not src_parts or not any(part.size for part in src_parts):
+        community = BipartiteGraph(name=name)
+    else:
+        community = _graph_from_edge_arrays(
+            np.concatenate(src_parts),
+            np.concatenate(dst_parts),
+            np.concatenate(weight_parts),
+            upper_label_arr,
+            lower_label_arr,
+            name,
+        )
+    if return_members:
+        return community, members
+    return community
+
+
+class ArrayQueryPath:
+    """The array-backed query engine of one index.
+
+    Holds the interned global id space of the indexed graph (upper vertices
+    first), the registered per-level :class:`~repro.index.csr_build.LevelArrays`
+    keyed by an index-specific level key, and one reusable visited bitmap.
+    Levels are either registered natively by the CSR construction backend
+    (:meth:`set_level`) or converted lazily from the dict adjacency lists on
+    first use (:meth:`ensure_level`), so only the levels a query stream
+    actually touches pay the conversion.  Requires numpy.
+    """
+
+    __slots__ = (
+        "num_upper",
+        "num_vertices",
+        "_global_ids",
+        "_upper_label_arr",
+        "_lower_label_arr",
+        "_levels",
+        "_visited",
+    )
+
+    def __init__(
+        self,
+        upper_labels: Iterable[Hashable],
+        lower_labels: Iterable[Hashable],
+        global_ids: Optional[Dict[Vertex, int]] = None,
+    ) -> None:
+        upper_labels = list(upper_labels)
+        lower_labels = list(lower_labels)
+        self.num_upper = len(upper_labels)
+        self.num_vertices = self.num_upper + len(lower_labels)
+        if global_ids is None:
+            global_ids = {
+                Vertex(Side.UPPER, label): gid
+                for gid, label in enumerate(upper_labels)
+            }
+            global_ids.update(
+                (Vertex(Side.LOWER, label), self.num_upper + lid)
+                for lid, label in enumerate(lower_labels)
+            )
+        self._global_ids = global_ids
+        self._upper_label_arr = np.empty(len(upper_labels), dtype=object)
+        self._upper_label_arr[:] = upper_labels
+        self._lower_label_arr = np.empty(len(lower_labels), dtype=object)
+        self._lower_label_arr[:] = lower_labels
+        self._levels: Dict[Hashable, object] = {}
+        self._visited = np.zeros(self.num_vertices, dtype=bool)
+
+    def has_level(self, key: Hashable) -> bool:
+        return key in self._levels
+
+    def set_level(self, key: Hashable, arrays) -> None:
+        """Register a natively built level."""
+        self._levels[key] = arrays
+
+    def ensure_level(
+        self,
+        key: Hashable,
+        offsets: Dict[Vertex, int],
+        lists: AdjacencyLists,
+    ) -> None:
+        """Convert and cache a level from its dict structures if missing."""
+        if key not in self._levels:
+            from repro.index.csr_build import level_arrays_from_dicts
+
+            self._levels[key] = level_arrays_from_dicts(
+                offsets, lists, self._global_ids, self.num_upper, self.num_vertices
+            )
+
+    def offset_of(self, key: Hashable, vertex: Vertex) -> int:
+        """The vertex's offset at the keyed level (0 when unknown)."""
+        gid = self._global_ids.get(vertex)
+        if gid is None:
+            return 0
+        return int(self._levels[key].offsets[gid])
+
+    def community(
+        self,
+        key: Hashable,
+        query: Vertex,
+        requirement: int,
+        name: str = "",
+        cache: Optional[Dict] = None,
+    ) -> BipartiteGraph:
+        """Array-path retrieval; the caller has already checked membership.
+
+        ``cache`` (a plain dict scoped to one batch call) memoises whole
+        connected components: an (α,β)-community is the component of the
+        query vertex, so every later query landing in an already-retrieved
+        component at the same ``(key, requirement)`` gets an O(answer) copy
+        instead of a fresh traversal.  Copies keep results independent — a
+        caller mutating one answer cannot corrupt another.
+        """
+        query_id = self._global_ids[query]
+        bucket = None
+        if cache is not None:
+            bucket = cache.setdefault((key, requirement), {})
+            hit = bucket.get(query_id)
+            if hit is not None:
+                return hit.copy(name=name)
+        community, members = bfs_over_arrays(
+            self._levels[key],
+            query_id,
+            requirement,
+            self._upper_label_arr,
+            self._lower_label_arr,
+            visited=self._visited,
+            name=name,
+            return_members=True,
+        )
+        if bucket is not None:
+            for member in members.tolist():
+                bucket[member] = community
+        return community

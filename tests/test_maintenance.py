@@ -107,7 +107,102 @@ class TestRemoval:
         assert_index_equivalent(dynamic, working)
 
 
+def assert_same_cores(dynamic: DynamicDegeneracyIndex, graph: BipartiteGraph) -> None:
+    """``vertices_in_core`` must agree with a from-scratch rebuild everywhere."""
+    fresh = DegeneracyIndex(graph)
+    assert dynamic.delta == fresh.delta
+    delta = max(fresh.delta, 1)
+    for alpha in range(1, delta + 2):
+        for beta in range(1, delta + 2):
+            assert sorted(dynamic.vertices_in_core(alpha, beta), key=repr) == sorted(
+                fresh.vertices_in_core(alpha, beta), key=repr
+            ), f"core membership diverged at ({alpha},{beta})"
+
+
+class TestStaleEntryPurging:
+    def test_remove_isolated_edge_purges_both_endpoints(self):
+        # Removing a degree-1/degree-1 edge discards both endpoints, so no
+        # affected component remains to refresh — the purge must still happen.
+        graph = BipartiteGraph.from_edges(
+            [("u0", "v0", 1), ("u0", "v1", 1), ("u1", "v0", 1), ("u1", "v1", 1),
+             ("p", "q", 1)]
+        )
+        dynamic = DynamicDegeneracyIndex(graph)
+        dynamic.remove_edge("p", "q")
+        working = graph.copy()
+        working.remove_edge("p", "q")
+        working.discard_isolated()
+        assert not dynamic.contains(upper("p"), 1, 1)
+        assert upper("p") not in dynamic.vertices_in_core(1, 1)
+        assert_same_cores(dynamic, working)
+        assert_index_equivalent(dynamic, working)
+
+    def test_remove_last_edge_of_whole_graph(self):
+        graph = BipartiteGraph.from_edges([("a", "x", 2.0)])
+        dynamic = DynamicDegeneracyIndex(graph)
+        dynamic.remove_edge("a", "x")
+        assert dynamic.delta == 0
+        assert dynamic.vertices_in_core(1, 1) == []
+
+    def test_discarded_preexisting_isolated_vertex_is_purged(self):
+        # A vertex isolated since construction is dropped by the first
+        # removal's discard_isolated(); its (zero-offset) entries must not
+        # linger in the index stores afterwards.
+        graph = BipartiteGraph.from_edges(
+            [("u0", "v0", 1), ("u0", "v1", 1), ("u1", "v0", 1), ("u1", "v1", 1)]
+        )
+        graph.add_vertex(Side.UPPER, "iso")
+        dynamic = DynamicDegeneracyIndex(graph)
+        dynamic.remove_edge("u0", "v0")
+        assert not dynamic.graph.has_vertex(Side.UPPER, "iso")
+        for stores in (
+            dynamic._alpha_offsets,
+            dynamic._beta_offsets,
+            dynamic._alpha_lists,
+            dynamic._beta_lists,
+        ):
+            for level in stores.values():
+                for vertex in level:
+                    assert dynamic.graph.has_vertex(vertex.side, vertex.label)
+
+    def test_remove_pendant_edge_purges_vanished_endpoint(self, tiny_graph):
+        dynamic = DynamicDegeneracyIndex(tiny_graph)
+        dynamic.remove_edge("u3", "v0")
+        working = tiny_graph.copy()
+        working.remove_edge("u3", "v0")
+        working.discard_isolated()
+        assert not dynamic.contains(upper("u3"), 1, 1)
+        assert_same_cores(dynamic, working)
+
+
 class TestRandomisedUpdateSequences:
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_cores_match_rebuild_after_every_update(self, seed):
+        # Property test: under a random insert/remove stream (biased towards
+        # removals so components regularly vanish), the maintained index must
+        # report the same core membership as a from-scratch rebuild after
+        # *every* single update.
+        rng = random.Random(seed)
+        graph = BipartiteGraph.from_edges(
+            [
+                (f"u{rng.randrange(6)}", f"v{rng.randrange(6)}", float(rng.randint(1, 9)))
+                for _ in range(18)
+            ]
+        )
+        dynamic = DynamicDegeneracyIndex(graph)
+        working = graph.copy()
+        for _ in range(25):
+            if rng.random() < 0.4 or working.num_edges < 3:
+                u, v = f"u{rng.randrange(6)}", f"v{rng.randrange(6)}"
+                w = float(rng.randint(1, 9))
+                dynamic.insert_edge(u, v, w)
+                working.add_edge(u, v, w)
+            else:
+                u, v, _ = rng.choice(sorted(working.edges(), key=repr))
+                dynamic.remove_edge(u, v)
+                working.remove_edge(u, v)
+                working.discard_isolated()
+            assert_same_cores(dynamic, working)
     @pytest.mark.parametrize("seed", [0, 1])
     def test_mixed_update_stream_stays_consistent(self, seed):
         rng = random.Random(seed)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import EmptyCommunityError, InvalidParameterError
-from repro.graph.bipartite import Side, lower, upper
+from repro.graph.bipartite import BipartiteGraph, Side, lower, upper
 from repro.index.queries import online_community_query
 
 from tests.reference import assert_same_graph, naive_community
@@ -63,6 +63,21 @@ class TestOnlineQuery:
                 break
         else:
             pytest.skip("no vertex in the core for these thresholds")
+
+    def test_each_edge_inserted_exactly_once(self, paper_graph, monkeypatch):
+        # Regression: the core BFS used to add every community edge twice,
+        # once from each endpoint's visit.
+        calls = []
+        original = BipartiteGraph.add_edge
+
+        def counting_add_edge(self, u, v, w=1.0):
+            calls.append((u, v))
+            return original(self, u, v, w)
+
+        monkeypatch.setattr(BipartiteGraph, "add_edge", counting_add_edge)
+        community = online_community_query(paper_graph, upper("u3"), 2, 2)
+        assert len(calls) == community.num_edges
+        assert len(set(calls)) == len(calls)
 
     def test_degrees_satisfy_constraints(self, random_graph):
         for vertex in random_graph.vertices():
