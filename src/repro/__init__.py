@@ -26,6 +26,7 @@ from repro.exceptions import (
     IndexConsistencyError,
     InvalidParameterError,
     ReproError,
+    ServingError,
 )
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex, lower, upper
 from repro.index.basic_index import BasicIndex
@@ -70,4 +71,5 @@ __all__ = [
     "EmptyCommunityError",
     "IndexConsistencyError",
     "DatasetError",
+    "ServingError",
 ]

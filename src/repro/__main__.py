@@ -1,13 +1,14 @@
 """User-facing command line interface: ``python -m repro``.
 
-Two subcommands:
+Four subcommands:
 
 ``search``
-    Run a significant (α,β)-community query against a registry dataset or a
-    KONECT-style edge-list file::
+    Run a significant (α,β)-community query against a registry dataset, a
+    KONECT-style edge-list file, or a previously saved index / snapshot::
 
         python -m repro search --dataset ML --alpha 4 --beta 4
         python -m repro search --edges ratings.txt --query-upper alice --alpha 3 --beta 2
+        python -m repro search --index snapshots/ml --alpha 4 --beta 4
 
     When ``--query-upper`` / ``--query-lower`` is omitted, a query vertex is
     picked automatically from the (α,β)-core.
@@ -15,13 +16,32 @@ Two subcommands:
 ``info``
     Print summary statistics (sizes, degeneracy, α_max / β_max) of a dataset
     or edge-list file.
+
+``snapshot``
+    Build the degeneracy index of a graph and persist it in the mmap-able
+    snapshot format, so later invocations (and serving fleets) reopen it
+    near-instantly::
+
+        python -m repro snapshot --dataset ML --out snapshots/ml
+
+``serve``
+    Answer a batch of queries over a snapshot with sharded worker
+    processes::
+
+        python -m repro serve --snapshot snapshots/ml --workers 4 --queries q.txt
+        python -m repro serve --snapshot snapshots/ml --workers 2 --alpha 2 --beta 2 --sample 8
+
+    A queries file holds one ``<upper|lower> <label> <alpha> <beta>`` query
+    per line; without one, ``--sample`` queries are drawn from the
+    (``--alpha``, ``--beta``)-core.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import List, Optional, Tuple
 
 from repro.api import CommunitySearcher
 from repro.datasets.registry import load_dataset
@@ -30,6 +50,7 @@ from repro.decomposition.offsets import max_alpha, max_beta
 from repro.exceptions import ReproError
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.io import read_edge_list
+from repro.index.base import BatchQuery
 
 __all__ = ["main", "build_parser"]
 
@@ -42,7 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     search = sub.add_parser("search", help="run a significant community query")
-    _add_graph_arguments(search)
+    _add_graph_arguments(search, required=False)
+    search.add_argument(
+        "--index",
+        type=str,
+        default=None,
+        help="saved index file or snapshot directory to load instead of rebuilding",
+    )
     search.add_argument("--alpha", type=int, required=True)
     search.add_argument("--beta", type=int, required=True)
     search.add_argument("--query-upper", type=str, default=None, help="upper-layer query label")
@@ -56,11 +83,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="print summary statistics of a graph")
     _add_graph_arguments(info)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="build an index and persist it as an mmap-able snapshot"
+    )
+    _add_graph_arguments(snapshot)
+    snapshot.add_argument("--out", type=str, required=True, help="snapshot directory to write")
+    snapshot.add_argument(
+        "--backend",
+        choices=["auto", "dict", "csr"],
+        default="auto",
+        help="index construction backend",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="answer a query batch with sharded worker processes"
+    )
+    serve.add_argument("--snapshot", type=str, required=True, help="snapshot directory")
+    serve.add_argument("--workers", type=int, default=2, help="worker process count")
+    serve.add_argument(
+        "--queries",
+        type=str,
+        default=None,
+        help="file with one '<upper|lower> <label> <alpha> <beta>' query per line",
+    )
+    serve.add_argument("--alpha", type=int, default=2, help="threshold for sampled queries")
+    serve.add_argument("--beta", type=int, default=2, help="threshold for sampled queries")
+    serve.add_argument(
+        "--sample", type=int, default=4, help="queries to sample when no --queries file"
+    )
+    serve.add_argument(
+        "--on-empty",
+        choices=["raise", "none", "skip"],
+        default="none",
+        help="policy for queries outside their core",
+    )
+    serve.add_argument("--max-print", type=int, default=20, help="per-query lines to print")
     return parser
 
 
-def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
-    source = parser.add_mutually_exclusive_group(required=True)
+def _add_graph_arguments(parser: argparse.ArgumentParser, required: bool = True) -> None:
+    source = parser.add_mutually_exclusive_group(required=required)
     source.add_argument("--dataset", type=str, help="registry dataset name (e.g. ML, BS)")
     source.add_argument("--edges", type=str, help="path to a KONECT-style edge list")
     parser.add_argument("--scale", type=float, default=1.0, help="registry dataset scale")
@@ -101,8 +164,20 @@ def _run_info(args: argparse.Namespace) -> int:
 
 
 def _run_search(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    searcher = CommunitySearcher(graph)
+    if args.index is not None:
+        if args.dataset or args.edges:
+            raise ReproError("give either --index or a graph source, not both")
+        from repro.index.serialization import load_index
+
+        try:
+            index = load_index(args.index)
+        except OSError as error:
+            raise ReproError(f"cannot open index {args.index}: {error}") from error
+        searcher = CommunitySearcher(index=index)
+    elif args.dataset or args.edges:
+        searcher = CommunitySearcher(_load_graph(args))
+    else:
+        raise ReproError("one of --dataset, --edges or --index is required")
     query = _resolve_query(args, searcher)
     result = searcher.significant_community(
         query, args.alpha, args.beta, method=args.method
@@ -119,11 +194,101 @@ def _run_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_snapshot(args: argparse.Namespace) -> int:
+    from repro.index.degeneracy_index import DegeneracyIndex
+    from repro.serving.snapshot import save_snapshot
+
+    graph = _load_graph(args)
+    index = DegeneracyIndex(graph, backend=args.backend)
+    directory = save_snapshot(index, args.out)
+    stats = index.stats()
+    total = sum(f.stat().st_size for f in directory.iterdir() if f.is_file())
+    print(f"snapshot   : {directory}")
+    print(f"graph      : {graph.name or '(unnamed)'} "
+          f"({graph.num_upper} / {graph.num_lower} / {graph.num_edges})")
+    print(f"backend    : {index.backend}")
+    print(f"delta      : {index.delta}")
+    print(f"entries    : {stats.entries}")
+    print(f"bytes      : {total}")
+    return 0
+
+
+def _parse_query_file(path: str) -> List[BatchQuery]:
+    queries: List[BatchQuery] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4 or parts[0] not in ("upper", "lower", "u", "l"):
+                raise ReproError(
+                    f"{path}:{line_no}: expected '<upper|lower> <label> <alpha> <beta>', "
+                    f"got {line!r}"
+                )
+            side = Side.UPPER if parts[0].startswith("u") else Side.LOWER
+            try:
+                alpha, beta = int(parts[2]), int(parts[3])
+            except ValueError as exc:
+                raise ReproError(f"{path}:{line_no}: thresholds must be integers") from exc
+            queries.append((Vertex(side, parts[1]), alpha, beta))
+    if not queries:
+        raise ReproError(f"{path} contains no queries")
+    return queries
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serving.server import CommunityServer
+    from repro.serving.snapshot import load_snapshot
+
+    index = load_snapshot(args.snapshot)
+    if args.queries:
+        queries = _parse_query_file(args.queries)
+    else:
+        core = index.vertices_in_core(args.alpha, args.beta)
+        if not core:
+            raise ReproError(
+                f"the ({args.alpha},{args.beta})-core of this snapshot is empty; "
+                "choose smaller thresholds"
+            )
+        queries = [(vertex, args.alpha, args.beta) for vertex in core[: args.sample]]
+    print(f"snapshot {args.snapshot}: delta={index.delta}, "
+          f"{len(queries)} queries, {args.workers} workers")
+    with CommunityServer(args.snapshot, num_workers=args.workers) as server:
+        start = time.perf_counter()
+        # Ask for aligned results so every query can be printed next to its
+        # answer; the "skip" policy is applied to the printed summary below.
+        aligned = server.batch_community(
+            queries, on_empty="none" if args.on_empty == "skip" else args.on_empty
+        )
+        elapsed = time.perf_counter() - start
+    shown: List[Tuple[BatchQuery, object]] = [
+        (query, answer)
+        for query, answer in zip(queries, aligned)
+        if not (args.on_empty == "skip" and answer is None)
+    ]
+    for (query, alpha, beta), answer in shown[: args.max_print]:
+        if answer is None:
+            print(f"  {query!r} ({alpha},{beta}) -> empty")
+        else:
+            print(f"  {query!r} ({alpha},{beta}) -> {answer.num_upper}+{answer.num_lower} "
+                  f"vertices, {answer.num_edges} edges")
+    if len(shown) > args.max_print:
+        print(f"  ... {len(shown) - args.max_print} more answers")
+    rate = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(f"answered {len(queries)} queries in {elapsed:.3f}s ({rate:.1f} queries/s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "info":
             return _run_info(args)
+        if args.command == "snapshot":
+            return _run_snapshot(args)
+        if args.command == "serve":
+            return _run_serve(args)
         return _run_search(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

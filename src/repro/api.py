@@ -54,16 +54,29 @@ class CommunitySearcher:
 
     def __init__(
         self,
-        graph: BipartiteGraph,
+        graph: Optional[BipartiteGraph] = None,
         index: Optional[DegeneracyIndex] = None,
         backend: str = "auto",
     ) -> None:
+        if index is None:
+            if graph is None:
+                raise InvalidParameterError(
+                    "CommunitySearcher needs a graph to index or a prebuilt index"
+                )
+            index = DegeneracyIndex(graph, backend=backend)
         self._graph = graph
-        self._index = index if index is not None else DegeneracyIndex(graph, backend=backend)
+        self._index = index
 
     # ------------------------------------------------------------------ #
     @property
     def graph(self) -> BipartiteGraph:
+        """The searched graph (taken from the index when not supplied).
+
+        For a snapshot-backed searcher the graph is thawed from the mapped
+        arrays on first access, so index-only construction stays cheap.
+        """
+        if self._graph is None:
+            self._graph = self._index.graph
         return self._graph
 
     @property
@@ -176,19 +189,78 @@ class CommunitySearcher:
         return results
 
     # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        num_workers: Optional[int] = None,
+        snapshot_dir: Optional[str] = None,
+        start_method: Optional[str] = None,
+    ):
+        """Snapshot the index and return a multi-process ``CommunityServer``.
+
+        The index is persisted once in the mmap-able snapshot format (skipped
+        when it already *is* a snapshot-backed index), then every worker
+        process reopens it read-only so the OS shares one set of index pages
+        across the fleet.  The server is returned un-started; use it as a
+        context manager (or call ``start()``)::
+
+            with searcher.serve(num_workers=4) as server:
+                answers = server.batch_community(stream, on_empty="none")
+
+        With ``snapshot_dir`` the snapshot is written there and left behind
+        for future cold starts; otherwise a temporary directory is used and
+        removed when the server stops.  Requires numpy.
+        """
+        from repro.serving.server import CommunityServer
+        from repro.serving.snapshot import SnapshotIndex, save_snapshot
+
+        cleanup = False
+        if isinstance(self._index, SnapshotIndex):
+            if snapshot_dir is None:
+                directory = self._index.directory
+            else:
+                # A snapshot-backed index cannot be re-exported (its levels
+                # live only as mapped segments) — replicate the directory.
+                import shutil
+
+                directory = shutil.copytree(
+                    self._index.directory, snapshot_dir, dirs_exist_ok=True
+                )
+        elif snapshot_dir is not None:
+            directory = save_snapshot(self._index, snapshot_dir)
+        else:
+            import shutil
+            import tempfile
+
+            directory = tempfile.mkdtemp(prefix="repro-snapshot-")
+            try:
+                save_snapshot(self._index, directory)
+            except BaseException:
+                shutil.rmtree(directory, ignore_errors=True)
+                raise
+            cleanup = True
+        return CommunityServer(
+            directory,
+            num_workers=num_workers,
+            start_method=start_method,
+            cleanup_snapshot=cleanup,
+        )
+
+    # ------------------------------------------------------------------ #
     # shared step-2 machinery
     # ------------------------------------------------------------------ #
     def _baseline_result(
         self, query: Vertex, alpha: int, beta: int, epsilon: float
     ) -> SearchResult:
-        answer = scs_baseline(self._graph, query, alpha, beta, epsilon=epsilon)
+        answer = scs_baseline(self.graph, query, alpha, beta, epsilon=epsilon)
         return SearchResult(
             graph=answer,
             query=query,
             alpha=alpha,
             beta=beta,
             method="baseline",
-            search_space_edges=self._graph.num_edges,
+            search_space_edges=self.graph.num_edges,
         )
 
     def _extract(

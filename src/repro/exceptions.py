@@ -57,7 +57,17 @@ class EmptyCommunityError(ReproError):
 
 
 class IndexConsistencyError(ReproError):
-    """Raised when an index is used against a graph it does not describe."""
+    """Raised when an index is used against a graph it does not describe,
+    or when a persisted index (pickle or snapshot) cannot be read back."""
+
+
+class ServingError(ReproError):
+    """Raised when the multi-process serving layer fails.
+
+    Covers worker startup failures, worker crashes mid-batch and protocol
+    violations; query-level failures (empty communities, bad parameters) are
+    re-raised in the driving process as their original exception types.
+    """
 
 
 class DatasetError(ReproError):

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.decomposition.degeneracy import degeneracy
 from repro.decomposition.offsets import alpha_offsets, beta_offsets, offsets_dict_from_arrays
-from repro.exceptions import EmptyCommunityError
+from repro.exceptions import EmptyCommunityError, InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.csr import resolve_backend
 from repro.index.base import (
@@ -288,6 +288,29 @@ class DegeneracyIndex(CommunityIndex):
             ),
             on_empty,
         )
+
+    def export_level_arrays(self):
+        """All flat level arrays of both halves, keyed ``("alpha"|"beta", τ)``.
+
+        The snapshot store (:mod:`repro.serving.snapshot`) persists exactly
+        these structures.  Levels the array query path has not touched yet are
+        converted from their dict lists on the spot, so the export works for
+        every construction backend — and for incrementally maintained indexes,
+        whose array path is rebuilt lazily from the patched lists.  Requires
+        numpy.
+        """
+        path = self.query_path()
+        if path is None:
+            raise InvalidParameterError(
+                "exporting level arrays requires numpy, which is not installed"
+            )
+        keys = []
+        for tau in range(1, self._delta + 1):
+            alpha_key, beta_key = ("alpha", tau), ("beta", tau)
+            path.ensure_level(alpha_key, self._alpha_offsets[tau], self._alpha_lists[tau])
+            path.ensure_level(beta_key, self._beta_offsets[tau], self._beta_lists[tau])
+            keys.extend((alpha_key, beta_key))
+        return {key: path.level(key) for key in keys}
 
     def vertices_in_core(self, alpha: int, beta: int) -> List[Vertex]:
         """All vertices of the (α,β)-core (useful for sampling benchmark queries)."""

@@ -150,11 +150,12 @@ def bfs_over_arrays(
     level,
     query_id: int,
     requirement: int,
-    upper_label_arr,
-    lower_label_arr,
+    upper_label_arr=None,
+    lower_label_arr=None,
     visited=None,
     name: str = "",
     return_members: bool = False,
+    assemble: bool = True,
 ):
     """Collect the community of the vertex ``query_id`` from one
     :class:`~repro.index.csr_build.LevelArrays` level.
@@ -167,6 +168,13 @@ def bfs_over_arrays(
     before returning, so a batch of queries can share one allocation.  With
     ``return_members`` the result is a ``(community, member global ids)``
     pair, which lets batch callers memoise whole connected components.
+
+    With ``assemble=False`` the dict-building final step is skipped and the
+    answer is returned as raw parallel edge arrays ``(src upper ids, dst
+    lower ids, weights)`` — the compact wire form the multi-process serving
+    layer ships between processes (label arrays may then be ``None``); the
+    same arrays fed to the assembly step later reproduce the identical
+    community graph.
     """
     num_upper = level.num_upper
     indptr = level.indptr
@@ -203,19 +211,24 @@ def bfs_over_arrays(
     members = np.concatenate(seen_parts)
     visited[members] = False
     if not src_parts or not any(part.size for part in src_parts):
-        community = BipartiteGraph(name=name)
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+        weight = np.empty(0, dtype=np.float64)
     else:
-        community = _graph_from_edge_arrays(
-            np.concatenate(src_parts),
-            np.concatenate(dst_parts),
-            np.concatenate(weight_parts),
-            upper_label_arr,
-            lower_label_arr,
-            name,
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+        weight = np.concatenate(weight_parts)
+    if not assemble:
+        result = (src, dst, weight)
+    elif src.size == 0:
+        result = BipartiteGraph(name=name)
+    else:
+        result = _graph_from_edge_arrays(
+            src, dst, weight, upper_label_arr, lower_label_arr, name
         )
     if return_members:
-        return community, members
-    return community
+        return result, members
+    return result
 
 
 class ArrayQueryPath:
@@ -269,6 +282,14 @@ class ArrayQueryPath:
 
     def has_level(self, key: Hashable) -> bool:
         return key in self._levels
+
+    def level(self, key: Hashable):
+        """The registered :class:`~repro.index.csr_build.LevelArrays` of ``key``."""
+        return self._levels[key]
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """True when ``vertex`` belongs to the interned id space."""
+        return vertex in self._global_ids
 
     def set_level(self, key: Hashable, arrays) -> None:
         """Register a natively built level."""
@@ -333,3 +354,40 @@ class ArrayQueryPath:
             for member in members.tolist():
                 bucket[member] = community
         return community
+
+    def community_edges(
+        self,
+        key: Hashable,
+        query: Vertex,
+        requirement: int,
+        cache: Optional[Dict] = None,
+    ) -> Tuple:
+        """Array-path retrieval of the *raw edge arrays* of one community.
+
+        The compact sibling of :meth:`community`: the BFS runs identically but
+        the dict-building assembly step is skipped and the answer comes back
+        as parallel ``(src upper ids, dst lower ids, weights)`` arrays.  The
+        component memoisation stores the array triple itself — the arrays are
+        immutable by convention, so repeated hits share the same objects
+        (which also lets pickle's memo collapse duplicates when a shard of
+        answers crosses a process boundary).
+        """
+        query_id = self._global_ids[query]
+        bucket = None
+        if cache is not None:
+            bucket = cache.setdefault(("edges", key, requirement), {})
+            hit = bucket.get(query_id)
+            if hit is not None:
+                return hit
+        edges, members = bfs_over_arrays(
+            self._levels[key],
+            query_id,
+            requirement,
+            visited=self._visited,
+            return_members=True,
+            assemble=False,
+        )
+        if bucket is not None:
+            for member in members.tolist():
+                bucket[member] = edges
+        return edges

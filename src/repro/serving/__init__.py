@@ -1,0 +1,29 @@
+"""Serving subsystem: snapshot persistence and multi-process query serving.
+
+Two cooperating pieces turn a built index into a serveable artefact:
+
+* :mod:`~repro.serving.snapshot` — the **snapshot store**.  A built
+  :class:`~repro.index.degeneracy_index.DegeneracyIndex` is persisted as a
+  directory of raw little-endian array segments plus a JSON manifest, and
+  reopened via ``numpy.memmap`` so the cold start costs only the manifest and
+  the vertex intern table; the array query path then runs directly over the
+  mapped segments.
+* :mod:`~repro.serving.server` / :mod:`~repro.serving.worker` — the
+  **serving layer**.  :class:`~repro.serving.server.CommunityServer` forks N
+  worker processes that each reopen the same snapshot read-only (the OS
+  shares the mapped pages) and shards batch query streams across them with
+  input-order result reassembly.
+
+Everything here requires numpy; without it, persistence falls back to the
+version-1 pickle format of :mod:`repro.index.serialization`.
+"""
+
+from repro.serving.server import CommunityServer
+from repro.serving.snapshot import SnapshotIndex, load_snapshot, save_snapshot
+
+__all__ = [
+    "CommunityServer",
+    "SnapshotIndex",
+    "save_snapshot",
+    "load_snapshot",
+]

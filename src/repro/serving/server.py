@@ -1,0 +1,374 @@
+"""The multi-process community server.
+
+:class:`CommunityServer` turns one snapshot directory into a query-serving
+fleet: N worker processes each reopen the snapshot read-only (one set of
+physical pages, shared by the OS), the driving process shards every batch of
+``(query, alpha, beta)`` triples across a task queue, and the shard results
+are reassembled in input order so the caller sees exactly what the
+single-process batch APIs return — including the ``on_empty`` policy and the
+position at which a ``"raise"`` policy fires.
+
+The server process itself never opens the snapshot, so standing up a server
+is as cheap as forking the workers; all index state lives behind the mmap.
+
+Typical use::
+
+    from repro.serving import CommunityServer
+
+    with CommunityServer("snapshots/movies", num_workers=4) as server:
+        answers = server.batch_community(stream, on_empty="none")
+
+or, from a built index, ``CommunitySearcher.serve()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import shutil
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import repro.exceptions as exceptions
+from repro.exceptions import EmptyCommunityError, ReproError, ServingError
+from repro.graph.bipartite import BipartiteGraph
+from repro.index.base import BatchQuery, check_on_empty
+from repro.search.result import SearchResult
+from repro.serving.snapshot import MANIFEST_NAME
+from repro.serving.wire import DeferredCommunity
+from repro.serving.worker import worker_main
+
+__all__ = ["CommunityServer"]
+
+PathLike = Union[str, Path]
+
+#: How long to wait for the workers to map their snapshots before giving up.
+_STARTUP_TIMEOUT = 120.0
+#: Poll interval used to interleave queue reads with worker liveness checks.
+_POLL_SECONDS = 0.2
+
+
+def _rebuild_error(info: Tuple[str, str, str]) -> ReproError:
+    """Re-raise a worker-side failure as its original library exception.
+
+    Only single-message exceptions from :mod:`repro.exceptions` are
+    reconstructed exactly; anything else (or an exception whose constructor
+    needs structured arguments) degrades to :class:`ServingError` carrying the
+    original type and message.
+    """
+    module, name, message = info
+    if module == exceptions.__name__:
+        cls = getattr(exceptions, name, None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            try:
+                return cls(message)
+            except TypeError:
+                pass
+    return ServingError(f"worker failed with {module}.{name}: {message}")
+
+
+class CommunityServer:
+    """Shard batch community queries across worker processes over one snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        The snapshot directory to serve (as written by
+        :func:`repro.serving.snapshot.save_snapshot`), or a
+        :class:`~repro.serving.snapshot.SnapshotIndex` already opened from one.
+    num_workers:
+        Worker process count; defaults to the machine's CPU count capped at 8.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (workers then inherit the imported library for free) and
+        ``"spawn"`` otherwise.
+    shards_per_worker:
+        Each batch is split into ``num_workers * shards_per_worker`` chunks
+        pulled from a shared queue, so slow shards self-balance.
+    cleanup_snapshot:
+        Remove the snapshot directory when the server stops.  Set by
+        :meth:`CommunitySearcher.serve` for the temporary snapshots it writes.
+    batch_timeout:
+        Seconds to wait for the next shard result of a running batch before
+        giving up (and stopping the fleet).  ``None`` — the default — waits
+        indefinitely: worker *crashes* are still detected promptly via their
+        exit codes, so the timeout only matters as a guard against a wedged
+        (alive but silent) worker.
+    """
+
+    def __init__(
+        self,
+        snapshot: Union[PathLike, "object"],
+        num_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        shards_per_worker: int = 4,
+        cleanup_snapshot: bool = False,
+        batch_timeout: Optional[float] = None,
+    ) -> None:
+        directory = getattr(snapshot, "directory", snapshot)
+        self._snapshot_dir = Path(directory)
+        if num_workers is None:
+            num_workers = max(1, min(8, multiprocessing.cpu_count()))
+        if num_workers < 1:
+            raise ServingError(f"num_workers must be >= 1, got {num_workers}")
+        if shards_per_worker < 1:
+            raise ServingError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
+        self._num_workers = num_workers
+        self._start_method = start_method
+        self._shards_per_worker = shards_per_worker
+        self._cleanup_snapshot = cleanup_snapshot
+        self._batch_timeout = batch_timeout
+        self._processes: List[multiprocessing.Process] = []
+        self._tasks = None
+        self._results = None
+        self._batch_seq = 0
+        self._labels = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def snapshot_dir(self) -> Path:
+        return self._snapshot_dir
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def is_running(self) -> bool:
+        return bool(self._processes)
+
+    def start(self) -> "CommunityServer":
+        """Fork the workers and wait until every one has mapped the snapshot.
+
+        Idempotent: calling :meth:`start` on a running server is a no-op.  The
+        batch methods call it automatically, so explicit use only matters when
+        the fork-and-mmap cost should be paid ahead of the first batch.
+        """
+        if self._processes:
+            return self
+        if not (self._snapshot_dir / MANIFEST_NAME).is_file():
+            raise ServingError(
+                f"{self._snapshot_dir} is not a community-index snapshot "
+                f"(no {MANIFEST_NAME}); write one with save_snapshot() first"
+            )
+        method = self._start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        context = multiprocessing.get_context(method)
+        self._tasks = context.Queue()
+        self._results = context.Queue()
+        self._processes = [
+            context.Process(
+                target=worker_main,
+                args=(str(self._snapshot_dir), self._tasks, self._results),
+                daemon=True,
+                name=f"repro-serve-{i}",
+            )
+            for i in range(self._num_workers)
+        ]
+        try:
+            for process in self._processes:
+                process.start()
+            ready = 0
+            while ready < self._num_workers:
+                message = self._next_message(_STARTUP_TIMEOUT)
+                if message[0] == "ready":
+                    ready += 1
+                elif message[0] == "fatal":
+                    raise _rebuild_error(message[2])
+        except BaseException:
+            self.stop(_cleanup=False)
+            raise
+        return self
+
+    def stop(self, _cleanup: bool = True) -> None:
+        """Stop the workers; optionally remove an owned snapshot directory."""
+        if self._processes:
+            for _ in self._processes:
+                try:
+                    self._tasks.put(None)
+                except (OSError, ValueError):  # pragma: no cover - queue gone
+                    break
+            # process.ident is None for workers that never started (a partial
+            # startup failure); joining those would raise and mask the cause.
+            for process in self._processes:
+                if process.ident is not None:
+                    process.join(timeout=5.0)
+            for process in self._processes:
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=5.0)
+            self._processes = []
+            for q in (self._tasks, self._results):
+                if q is not None:
+                    q.cancel_join_thread()
+                    q.close()
+            self._tasks = None
+            self._results = None
+        if _cleanup and self._cleanup_snapshot:
+            shutil.rmtree(self._snapshot_dir, ignore_errors=True)
+            self._cleanup_snapshot = False
+
+    def __enter__(self) -> "CommunityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.stop()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # batch serving
+    # ------------------------------------------------------------------ #
+    def batch_community(
+        self,
+        queries: Iterable[BatchQuery],
+        on_empty: str = "raise",
+    ) -> List[Optional[BipartiteGraph]]:
+        """Sharded :meth:`CommunityIndex.batch_community` over the workers.
+
+        Results come back in input order and are element-wise identical to a
+        single-process batch over the same snapshot; ``on_empty`` follows the
+        library-wide policy (``"raise"`` | ``"none"`` | ``"skip"``).  Answers
+        are :class:`~repro.serving.wire.DeferredCommunity` graphs: fully
+        functional ``BipartiteGraph`` objects whose adjacency dicts are
+        assembled from the compact wire arrays only when first accessed, so
+        a driver that forwards answers does not pay materialisation.
+        """
+        check_on_empty(on_empty)
+        queries = list(queries)
+        wire = self._scatter_gather("community", queries, {})
+        labels = self._label_arrays()
+        answers: List[Optional[BipartiteGraph]] = [
+            None
+            if edges is None
+            else DeferredCommunity(
+                edges, labels, name=f"C({alpha},{beta})[{query.label!r}]"
+            )
+            for (query, alpha, beta), edges in zip(queries, wire)
+        ]
+        return self._apply_policy(queries, answers, on_empty)
+
+    def batch_significant_communities(
+        self,
+        queries: Iterable[BatchQuery],
+        method: str = "auto",
+        epsilon: float = 2.0,
+        on_empty: str = "raise",
+    ) -> List[Optional[SearchResult]]:
+        """Sharded two-step search: retrieval plus per-query extraction.
+
+        Step 2 (peel / expand / binary) runs inside the workers too, so the
+        whole significant-community pipeline parallelises; answers match
+        :meth:`CommunitySearcher.batch_significant_communities` element-wise.
+        """
+        check_on_empty(on_empty)
+        queries = list(queries)
+        answers = self._scatter_gather(
+            "significant", queries, {"method": method, "epsilon": epsilon}
+        )
+        return self._apply_policy(queries, answers, on_empty)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _label_arrays(self):
+        """The snapshot's intern table (read once, lazily).
+
+        The only piece of the snapshot the driving process ever opens; the
+        index segments themselves stay exclusive to the workers.
+        """
+        if self._labels is None:
+            from repro.serving.snapshot import load_label_arrays
+
+            self._labels = load_label_arrays(self._snapshot_dir)
+        return self._labels
+
+    def _scatter_gather(
+        self, kind: str, queries: Sequence[BatchQuery], options: Dict
+    ) -> List:
+        if not queries:
+            return []
+        self.start()
+        shard_count = min(len(queries), self._num_workers * self._shards_per_worker)
+        bounds: List[Tuple[int, int]] = []
+        base, remainder = divmod(len(queries), shard_count)
+        position = 0
+        for shard_id in range(shard_count):
+            size = base + (1 if shard_id < remainder else 0)
+            bounds.append((position, position + size))
+            position += size
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        for shard_id, (lo, hi) in enumerate(bounds):
+            self._tasks.put((batch_id, shard_id, kind, queries[lo:hi], options))
+        answers: List = [None] * len(queries)
+        pending = set(range(shard_count))
+        while pending:
+            message = self._next_message(self._batch_timeout)
+            tag = message[0]
+            if tag in ("ready",):  # late duplicate; harmless
+                continue
+            if tag == "fatal":
+                raise _rebuild_error(message[2])
+            _, msg_batch, shard_id, payload = message
+            if msg_batch != batch_id:
+                continue  # stale shard of a batch that already raised
+            if tag == "error":
+                raise _rebuild_error(payload)
+            lo, hi = bounds[shard_id]
+            answers[lo:hi] = payload
+            pending.discard(shard_id)
+        return answers
+
+    def _next_message(self, timeout: Optional[float]):
+        """Read one protocol message, watching worker liveness while waiting.
+
+        ``timeout=None`` waits indefinitely — worker deaths are still caught
+        via their exit codes on every poll, so only a wedged-but-alive worker
+        could stall the caller.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                return self._results.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                dead = [p for p in self._processes if p.exitcode not in (None, 0)]
+                if dead:
+                    names = ", ".join(p.name for p in dead)
+                    self.stop(_cleanup=False)
+                    raise ServingError(
+                        f"worker process(es) {names} died while serving a batch"
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    self.stop(_cleanup=False)
+                    raise ServingError(
+                        f"timed out after {timeout:.0f}s waiting for worker results"
+                    )
+
+    @staticmethod
+    def _apply_policy(
+        queries: Sequence[BatchQuery], answers: List, on_empty: str
+    ) -> List:
+        """Apply the ``on_empty`` policy in input order (``None`` == empty)."""
+        if on_empty == "raise":
+            for (query, alpha, beta), answer in zip(queries, answers):
+                if answer is None:
+                    raise EmptyCommunityError(query, alpha, beta)
+            return answers
+        if on_empty == "none":
+            return answers
+        return [answer for answer in answers if answer is not None]

@@ -1,0 +1,550 @@
+"""The snapshot store: mmap-able persistence of built community indexes.
+
+The version-1 pickle format (:mod:`repro.index.serialization`) re-materialises
+every adjacency dict on load, so opening a large index costs almost as much as
+using it.  A *snapshot* instead persists the structures the array-backed query
+path actually consumes — the frozen :class:`~repro.graph.csr.CSRBipartiteGraph`
+arrays and the flat per-level :class:`~repro.index.csr_build.LevelArrays` —
+as raw little-endian segments in one data file, described by a JSON manifest:
+
+``manifest.json``
+    magic / version, repro + backend provenance, index statistics, graph
+    sizes, the label encoding and one ``{dtype, shape, offset, nbytes}``
+    record per array segment.
+``arrays.bin``
+    every array back to back, 64-byte aligned, in manifest order.
+``labels.json`` (or ``labels.pkl``)
+    the vertex intern table: upper and lower labels in id order.  JSON when
+    the labels survive a JSON round-trip unchanged, pickle otherwise.
+
+:func:`load_snapshot` reads the manifest and the intern table, maps
+``arrays.bin`` once read-only, and hands zero-copy views of the segments to a
+:class:`SnapshotIndex` — so the cold start is O(manifest + labels) and the
+first query faults in only the pages it touches.  Because the mapping is
+read-only and shared, any number of processes can reopen the same snapshot
+and the OS keeps a single physical copy of the pages — the foundation of the
+multi-process :class:`~repro.serving.server.CommunityServer`.
+
+Requires numpy; dict-backend deployments without numpy keep using the pickle
+format via :func:`repro.index.serialization.save_index`.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+from repro.exceptions import (
+    EmptyCommunityError,
+    IndexConsistencyError,
+    InvalidParameterError,
+)
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.csr import HAS_NUMPY
+from repro.index.base import CommunityIndex, IndexStats, apply_batch_policy
+from repro.utils.validation import check_query_membership, check_thresholds
+
+if HAS_NUMPY:  # pragma: no branch - trivial import guard
+    import numpy as np
+else:  # pragma: no cover - environment without numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "MANIFEST_NAME",
+    "DATA_NAME",
+    "SnapshotIndex",
+    "save_snapshot",
+    "load_snapshot",
+    "load_label_arrays",
+]
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+DATA_NAME = "arrays.bin"
+LABELS_JSON_NAME = "labels.json"
+LABELS_PICKLE_NAME = "labels.pkl"
+
+#: Segment alignment inside ``arrays.bin``.  One cache line keeps every
+#: vectorised gather aligned regardless of the preceding segment's length.
+_ALIGNMENT = 64
+
+_GRAPH_FIELDS = ("u_indptr", "u_indices", "u_weights", "l_indptr", "l_indices", "l_weights")
+_LEVEL_FIELDS = ("indptr", "entry_vertex", "entry_weight", "entry_offset", "offsets")
+
+
+def _corrupt(directory: Path, detail: str) -> IndexConsistencyError:
+    return IndexConsistencyError(f"snapshot at {directory} is unreadable: {detail}")
+
+
+def _little_endian(array):
+    """Return ``array`` with a little-endian dtype (no copy on LE machines)."""
+    dtype = array.dtype
+    if dtype.byteorder == ">" or (dtype.byteorder == "=" and np.little_endian is False):
+        return array.astype(dtype.newbyteorder("<"))
+    return array
+
+
+# --------------------------------------------------------------------------- #
+# saving
+# --------------------------------------------------------------------------- #
+def save_snapshot(index: CommunityIndex, directory: PathLike) -> Path:
+    """Persist ``index`` as a version-2 snapshot directory; return its path.
+
+    Supported for the degeneracy-family indexes (anything exposing
+    ``export_level_arrays``); other indexes keep the pickle format.  The
+    manifest is written last, so a crashed save never looks like a valid
+    snapshot.
+    """
+    if not HAS_NUMPY:
+        raise InvalidParameterError(
+            "writing a snapshot requires numpy, which is not installed; "
+            "use save_index(..., format='pickle') instead"
+        )
+    export = getattr(index, "export_level_arrays", None)
+    if export is None:
+        raise InvalidParameterError(
+            f"{type(index).__name__} does not support the snapshot format; "
+            "use save_index(..., format='pickle')"
+        )
+    from repro.graph.csr import freeze
+    from repro.index.serialization import SNAPSHOT_VERSION, _MAGIC, index_metadata
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    # Drop any previous manifest before touching the data file: a crash
+    # mid-save must never leave an old manifest pointing at new segments.
+    (directory / MANIFEST_NAME).unlink(missing_ok=True)
+
+    graph = index.graph
+    csr = freeze(graph)
+    levels = export()
+
+    arrays: Dict[str, "np.ndarray"] = {}
+    for field in _GRAPH_FIELDS:
+        arrays[f"graph/{field}"] = getattr(csr, field)
+    for (half, tau), level in sorted(levels.items()):
+        for field in _LEVEL_FIELDS:
+            arrays[f"level/{half}/{tau}/{field}"] = getattr(level, field)
+
+    segments: Dict[str, Dict[str, object]] = {}
+    offset = 0
+    with open(directory / DATA_NAME, "wb") as handle:
+        for name, array in arrays.items():
+            array = _little_endian(np.ascontiguousarray(array))
+            padding = (-offset) % _ALIGNMENT
+            if padding:
+                handle.write(b"\0" * padding)
+                offset += padding
+            data = array.tobytes()
+            handle.write(data)
+            segments[name] = {
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": len(data),
+            }
+            offset += len(data)
+
+    labels = {"upper": list(csr.upper_labels), "lower": list(csr.lower_labels)}
+    labels_file = _write_labels(directory, labels)
+
+    stats = index.stats()
+    manifest = {
+        "magic": _MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "format": "snapshot",
+        **index_metadata(index),
+        "index": {
+            "name": stats.name,
+            "delta": int(getattr(index, "delta", 0)),
+            "stats": stats.as_dict(),
+        },
+        "graph": {
+            "name": graph.name,
+            "num_upper": csr.num_upper,
+            "num_lower": csr.num_lower,
+            "num_edges": csr.num_edges,
+        },
+        "labels": {"file": labels_file},
+        "data": {"file": DATA_NAME, "size": offset},
+        "segments": segments,
+    }
+    # The manifest is written last and moved into place atomically, so a
+    # crashed save never looks like a valid snapshot.
+    staging = directory / (MANIFEST_NAME + ".tmp")
+    with open(staging, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    staging.replace(directory / MANIFEST_NAME)
+    return directory
+
+
+def _write_labels(directory: Path, labels: Dict[str, List[Hashable]]) -> str:
+    """Store the intern table as JSON when faithful, pickle otherwise."""
+    try:
+        text = json.dumps(labels)
+        faithful = json.loads(text) == labels
+    except (TypeError, ValueError):
+        faithful = False
+    if faithful:
+        (directory / LABELS_JSON_NAME).write_text(text, encoding="utf-8")
+        return LABELS_JSON_NAME
+    with open(directory / LABELS_PICKLE_NAME, "wb") as handle:
+        pickle.dump(labels, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return LABELS_PICKLE_NAME
+
+
+# --------------------------------------------------------------------------- #
+# loading
+# --------------------------------------------------------------------------- #
+def load_snapshot(directory: PathLike) -> "SnapshotIndex":
+    """Reopen a snapshot written by :func:`save_snapshot`.
+
+    Only the manifest and the label table are read eagerly; ``arrays.bin`` is
+    mapped once read-only and every segment becomes a zero-copy view into the
+    mapping.  Raises :class:`IndexConsistencyError` for a missing or corrupted
+    manifest, truncated data file or absent segments, naming the path.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    if not HAS_NUMPY:
+        raise InvalidParameterError(
+            f"opening the snapshot at {directory} requires numpy, which is "
+            "not installed"
+        )
+    labels = _read_labels(directory, manifest)
+    segments = manifest.get("segments")
+    if not isinstance(segments, dict):
+        raise _corrupt(directory, "manifest has no segment table")
+
+    data_path = directory / manifest.get("data", {}).get("file", DATA_NAME)
+    if not data_path.is_file():
+        raise _corrupt(directory, f"data file {data_path.name} is missing")
+    actual_size = data_path.stat().st_size
+    buffer = (
+        np.memmap(data_path, dtype=np.uint8, mode="r") if actual_size else None
+    )
+
+    def segment(name: str):
+        spec = segments.get(name)
+        if spec is None:
+            raise _corrupt(directory, f"segment {name!r} is missing from the manifest")
+        try:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(dim) for dim in spec["shape"])
+            offset = int(spec["offset"])
+            nbytes = int(spec["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _corrupt(directory, f"segment {name!r} has a malformed record") from exc
+        if nbytes == 0:
+            return np.empty(shape, dtype=dtype)
+        if buffer is None or offset + nbytes > actual_size:
+            raise _corrupt(
+                directory,
+                f"segment {name!r} extends past the end of {data_path.name} "
+                f"(needs {offset + nbytes} bytes, file has {actual_size})",
+            )
+        try:
+            view = np.frombuffer(
+                buffer, dtype=dtype, count=nbytes // dtype.itemsize, offset=offset
+            )
+            return view.reshape(shape)
+        except ValueError as exc:
+            raise _corrupt(
+                directory, f"segment {name!r} has an inconsistent record ({exc})"
+            ) from exc
+
+    graph_arrays = tuple(segment(f"graph/{field}") for field in _GRAPH_FIELDS)
+
+    from repro.index.csr_build import LevelArrays
+
+    num_upper = len(labels["upper"])
+    delta = int(manifest.get("index", {}).get("delta", 0))
+    levels: Dict[Tuple[str, int], LevelArrays] = {}
+    for tau in range(1, delta + 1):
+        for half in ("alpha", "beta"):
+            prefix = f"level/{half}/{tau}"
+            levels[(half, tau)] = LevelArrays(
+                num_upper=num_upper,
+                **{field: segment(f"{prefix}/{field}") for field in _LEVEL_FIELDS},
+            )
+    return SnapshotIndex(
+        directory, manifest, labels["upper"], labels["lower"], levels, graph_arrays
+    )
+
+
+def _read_manifest(directory: Path) -> Dict:
+    from repro.index.serialization import SNAPSHOT_VERSION, _MAGIC
+
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise IndexConsistencyError(
+            f"{directory} is not a community-index snapshot (no {MANIFEST_NAME})"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise _corrupt(directory, f"manifest is not valid JSON ({exc})") from exc
+    if not isinstance(manifest, dict) or manifest.get("magic") != _MAGIC:
+        raise _corrupt(directory, "manifest magic does not identify a community index")
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise _corrupt(
+            directory, f"unsupported snapshot version {manifest.get('version')!r}"
+        )
+    return manifest
+
+
+def load_label_arrays(directory: PathLike):
+    """Just a snapshot's intern table, as numpy object arrays.
+
+    The cheap parent-side half of answer assembly: a
+    :class:`~repro.serving.server.CommunityServer` translates the edge-id
+    arrays its workers return into labelled graphs with these, without ever
+    mapping the index segments itself.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    if not HAS_NUMPY:
+        raise InvalidParameterError(
+            f"reading the snapshot at {directory} requires numpy, which is "
+            "not installed"
+        )
+    labels = _read_labels(directory, manifest)
+    upper_arr = np.empty(len(labels["upper"]), dtype=object)
+    upper_arr[:] = labels["upper"]
+    lower_arr = np.empty(len(labels["lower"]), dtype=object)
+    lower_arr[:] = labels["lower"]
+    return upper_arr, lower_arr
+
+
+def _read_labels(directory: Path, manifest: Dict) -> Dict[str, List[Hashable]]:
+    name = manifest.get("labels", {}).get("file", LABELS_JSON_NAME)
+    path = directory / name
+    if not path.is_file():
+        raise _corrupt(directory, f"label table {name} is missing")
+    try:
+        if name.endswith(".json"):
+            labels = json.loads(path.read_text(encoding="utf-8"))
+        else:
+            with open(path, "rb") as handle:
+                labels = pickle.load(handle)
+    except Exception as exc:  # noqa: BLE001 - any decode failure means corruption
+        raise _corrupt(directory, f"label table {name} is unreadable ({exc})") from exc
+    if (
+        not isinstance(labels, dict)
+        or not isinstance(labels.get("upper"), list)
+        or not isinstance(labels.get("lower"), list)
+    ):
+        raise _corrupt(directory, f"label table {name} has an unexpected layout")
+    return labels
+
+
+# --------------------------------------------------------------------------- #
+# the array-only index
+# --------------------------------------------------------------------------- #
+class SnapshotIndex(CommunityIndex):
+    """A read-only community index answering queries straight off a snapshot.
+
+    Query semantics are identical to the :class:`DegeneracyIndex` the snapshot
+    was written from — same routing (α ≤ β answers from the α-half at level α
+    with requirement β, mirrored otherwise), same errors, same answer graphs —
+    but every retrieval runs :func:`~repro.index.traversal.bfs_over_arrays`
+    over the memory-mapped level segments.  The indexed graph itself is only
+    thawed (into a mutable :class:`BipartiteGraph`) if something asks for it.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        manifest: Dict,
+        upper_labels: List[Hashable],
+        lower_labels: List[Hashable],
+        levels: Dict[Tuple[str, int], object],
+        graph_arrays: Tuple,
+    ) -> None:
+        super().__init__(None)  # the graph is thawed lazily on first access
+        self._directory = Path(directory)
+        self._manifest = manifest
+        self._upper_labels = upper_labels
+        self._lower_labels = lower_labels
+        self._levels = levels
+        self._graph_arrays = graph_arrays
+        self._delta = int(manifest.get("index", {}).get("delta", 0))
+        self._array_path = None
+        self._csr = None
+
+    # ------------------------------------------------------------------ #
+    # provenance / lazy materialisation
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        """The snapshot directory this index is serving from."""
+        return self._directory
+
+    @property
+    def delta(self) -> int:
+        """The degeneracy of the snapshotted graph."""
+        return self._delta
+
+    @property
+    def backend(self) -> str:
+        """The construction backend recorded when the snapshot was written."""
+        return str(self._manifest.get("backend", "csr"))
+
+    @property
+    def graph(self) -> BipartiteGraph:
+        """The indexed graph, thawed from the mapped CSR arrays on demand."""
+        if self._graph is None:
+            self._graph = self.csr_graph().thaw()
+        return self._graph
+
+    def csr_graph(self):
+        """The snapshotted graph as a :class:`CSRBipartiteGraph` (cached)."""
+        if self._csr is None:
+            from repro.graph.csr import CSRBipartiteGraph
+
+            self._csr = CSRBipartiteGraph(
+                str(self._manifest.get("graph", {}).get("name", "")),
+                self._upper_labels,
+                self._lower_labels,
+                *self._graph_arrays,
+            )
+        return self._csr
+
+    def query_path(self):
+        """The array query engine over the mapped segments (built once)."""
+        if self._array_path is None:
+            from repro.index.traversal import ArrayQueryPath
+
+            path = ArrayQueryPath(self._upper_labels, self._lower_labels)
+            for key, arrays in self._levels.items():
+                path.set_level(key, arrays)
+            self._array_path = path
+        return self._array_path
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+    def _route(self, alpha: int, beta: int) -> Tuple[Tuple[str, int], int]:
+        if alpha <= beta:
+            return ("alpha", alpha), beta
+        return ("beta", beta), alpha
+
+    def _route_checked(self, query: Vertex, alpha: int, beta: int):
+        """Validate a query and resolve its level key and offset requirement.
+
+        The shared gate of both answer forms (graph and wire edges): raises
+        exactly what :meth:`DegeneracyIndex.community` raises for invalid
+        thresholds, unknown query vertices and queries outside their core.
+        """
+        check_thresholds(alpha, beta)
+        path = self.query_path()
+        check_query_membership(path.has_vertex, query)
+        if min(alpha, beta) > self._delta:
+            raise EmptyCommunityError(query, alpha, beta)
+        key, requirement = self._route(alpha, beta)
+        if path.offset_of(key, query) < requirement:
+            raise EmptyCommunityError(query, alpha, beta)
+        return path, key, requirement
+
+    def _answer(
+        self, query: Vertex, alpha: int, beta: int, cache: Optional[Dict] = None
+    ) -> BipartiteGraph:
+        path, key, requirement = self._route_checked(query, alpha, beta)
+        return path.community(
+            key,
+            query,
+            requirement,
+            name=f"C({alpha},{beta})[{query.label!r}]",
+            cache=cache,
+        )
+
+    def community(self, query: Vertex, alpha: int, beta: int) -> BipartiteGraph:
+        """``Qopt`` over the mapped level arrays."""
+        return self._answer(query, alpha, beta)
+
+    def batch_community(
+        self,
+        queries,
+        on_empty: str = "raise",
+    ) -> List[Optional[BipartiteGraph]]:
+        """Batched ``Qopt`` with per-batch component memoisation."""
+        cache: Dict = {}
+        return apply_batch_policy(
+            queries,
+            lambda query, alpha, beta: self._answer(query, alpha, beta, cache=cache),
+            on_empty,
+        )
+
+    def _answer_edges(
+        self, query: Vertex, alpha: int, beta: int, cache: Optional[Dict] = None
+    ):
+        """Like :meth:`_answer` but returning the raw wire edge arrays."""
+        path, key, requirement = self._route_checked(query, alpha, beta)
+        return path.community_edges(key, query, requirement, cache=cache)
+
+    def batch_community_edges(
+        self, queries, on_empty: str = "raise", cache: Optional[Dict] = None
+    ) -> List:
+        """Batched ``Qopt`` in compact wire form.
+
+        Each answer is the ``(src upper ids, dst lower ids, weights)`` triple
+        of :meth:`ArrayQueryPath.community_edges` instead of a materialised
+        graph; queries hitting the same component at the same requirement
+        share the *same* array objects.  ``cache`` lets a caller carry the
+        component memoisation across calls (the serving workers keep one per
+        batch, so shards of the same stream never re-traverse a component).
+        This is the worker-side half of the multi-process server protocol —
+        assembling the arrays with the snapshot's intern table reproduces
+        exactly what :meth:`batch_community` returns.
+        """
+        if cache is None:
+            cache = {}
+        return apply_batch_policy(
+            queries,
+            lambda query, alpha, beta: self._answer_edges(
+                query, alpha, beta, cache=cache
+            ),
+            on_empty,
+        )
+
+    def contains(self, vertex: Vertex, alpha: int, beta: int) -> bool:
+        """True when ``vertex`` belongs to the (α,β)-core."""
+        check_thresholds(alpha, beta)
+        if min(alpha, beta) > self._delta:
+            return False
+        key, requirement = self._route(alpha, beta)
+        return self.query_path().offset_of(key, vertex) >= requirement
+
+    def vertices_in_core(self, alpha: int, beta: int) -> List[Vertex]:
+        """All vertices of the (α,β)-core, computed from the offset segment."""
+        check_thresholds(alpha, beta)
+        if min(alpha, beta) > self._delta:
+            return []
+        key, requirement = self._route(alpha, beta)
+        offsets = self._levels[key].offsets
+        handles = self.csr_graph().global_handles()
+        return [handles[gid] for gid in np.flatnonzero(offsets >= requirement).tolist()]
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> IndexStats:
+        """The statistics recorded at save time (no structures are walked)."""
+        meta = self._manifest.get("index", {})
+        stored = dict(meta.get("stats", {}))
+        return IndexStats(
+            name=str(meta.get("name", "snapshot")),
+            entries=int(stored.pop("entries", 0)),
+            adjacency_lists=int(stored.pop("adjacency_lists", 0)),
+            build_seconds=float(stored.pop("build_seconds", 0.0)),
+            extra={key: float(value) for key, value in stored.items()},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        graph = self._manifest.get("graph", {})
+        return (
+            f"<SnapshotIndex {str(self._directory)!r} delta={self._delta} "
+            f"|U|={graph.get('num_upper')} |L|={graph.get('num_lower')} "
+            f"|E|={graph.get('num_edges')}>"
+        )

@@ -1,0 +1,75 @@
+"""Wire format of served community answers.
+
+A retrieved (α,β)-community is output-proportional by construction — the
+paper's whole point is that ``Qopt`` touches only the answer — so for a
+serving fleet the dominant cost is not *finding* communities but *shipping
+and re-materialising* them.  A materialised :class:`BipartiteGraph` pickles
+at roughly 50 bytes per edge and unpickles into freshly hashed dicts; the raw
+edge arrays the array BFS produces *before* assembly weigh ~24 bytes per edge,
+pickle as flat buffer copies, and — because the worker-side component cache
+hands the *same* array objects to every query landing in one component —
+pickle's memo automatically collapses repeated components inside a shard, so
+hot communities cross the process boundary once per shard, not once per query.
+
+:class:`DeferredCommunity` is the receiving end: a full
+:class:`BipartiteGraph` whose adjacency dicts are materialised from the wire
+arrays on first access (via the same
+:func:`~repro.index.traversal._graph_from_edge_arrays` assembly the
+single-process path uses, so the result is element-wise identical).  Until
+something reads the structure, an answer costs only its arrays — a driving
+process that routes answers onward never pays dict materialisation at all.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.bipartite import BipartiteGraph, Side
+
+__all__ = ["DeferredCommunity"]
+
+#: One answer on the wire: parallel (src upper ids, dst lower ids, weights).
+WireEdges = Tuple
+
+
+class DeferredCommunity(BipartiteGraph):
+    """A community graph that materialises its adjacency dicts lazily.
+
+    Behaves exactly like the eagerly-built answer (every
+    :class:`BipartiteGraph` method works, including mutation); the adjacency
+    structure is assembled from the wire arrays the first time anything needs
+    it.  ``num_edges`` and ``name`` are available without materialising.
+    """
+
+    __slots__ = ("_wire_edges", "_wire_labels")
+
+    def __init__(self, edges: WireEdges, label_arrays, name: str = "") -> None:
+        # Deliberately skip BipartiteGraph.__init__: leaving the _adj slot
+        # unset is what makes materialisation lazy (see __getattr__).
+        self.name = name
+        self._num_edges = int(edges[0].shape[0])
+        self._wire_edges = edges
+        self._wire_labels = label_arrays
+
+    def __getattr__(self, attr: str):
+        # Only ever reached for slots that are still unset; _adj is the one
+        # we leave unset on purpose.
+        if attr == "_adj":
+            self._materialise()
+            return self._adj
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {attr!r}"
+        )
+
+    def _materialise(self) -> None:
+        src, dst, weight = self._wire_edges
+        if src.shape[0] == 0:
+            self._adj = {Side.UPPER: {}, Side.LOWER: {}}
+            return
+        from repro.index.traversal import _graph_from_edge_arrays
+
+        upper_label_arr, lower_label_arr = self._wire_labels
+        assembled = _graph_from_edge_arrays(
+            src, dst, weight, upper_label_arr, lower_label_arr, self.name
+        )
+        self._adj = assembled._adj

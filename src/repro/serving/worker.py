@@ -1,0 +1,88 @@
+"""Worker-process side of the community server.
+
+Each worker reopens the shared snapshot read-only — the OS backs every
+worker's ``numpy.memmap`` with the same physical pages — wraps it in a
+:class:`~repro.api.CommunitySearcher` and then drains shards of query triples
+from the task queue until it receives the ``None`` stop sentinel.
+
+Shards are always answered with the ``on_empty="none"`` policy so the result
+list stays aligned with the shard: a ``None`` element marks a query outside
+its (α,β)-core, and the *driving* process applies the caller's actual policy
+in input order (raising the first :class:`EmptyCommunityError` exactly where
+a sequential run would).  Plain community retrievals come back in the compact
+wire form of :mod:`repro.serving.wire` — raw edge-id arrays, with repeated
+components deduplicated by pickle's memo because the per-shard cache shares
+array objects; significant-community results carry their (small) extracted
+graphs directly.  Non-empty failures — bad thresholds, unknown query
+vertices, unexpected bugs — travel back as a ``(module, name, message)``
+description; exception objects themselves are not pickled because several
+library exceptions carry structured constructor arguments that do not survive
+a pickle round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+__all__ = ["worker_main", "describe_error"]
+
+
+def describe_error(exc: BaseException) -> Tuple[str, str, str]:
+    """A pickle-safe ``(module, class name, message)`` description of ``exc``."""
+    return (type(exc).__module__, type(exc).__name__, str(exc))
+
+
+def worker_main(snapshot_dir: str, tasks, results) -> None:
+    """Serve shards from ``tasks`` until the ``None`` sentinel arrives.
+
+    Protocol (all messages tuples, first element a tag):
+
+    * startup: ``("ready", pid)`` once the snapshot is open, or
+      ``("fatal", pid, error_description)`` if it cannot be opened.
+    * per shard: input ``(batch_id, shard_id, kind, triples, options)`` where
+      ``kind`` is ``"community"`` or ``"significant"``; output
+      ``("result", batch_id, shard_id, answers)`` or
+      ``("error", batch_id, shard_id, error_description)``.
+    """
+    from repro.api import CommunitySearcher
+    from repro.serving.snapshot import load_snapshot
+
+    pid = os.getpid()
+    try:
+        index = load_snapshot(snapshot_dir)
+        searcher = CommunitySearcher(index=index)
+    except BaseException as exc:  # noqa: BLE001 - report, then die quietly
+        results.put(("fatal", pid, describe_error(exc)))
+        return
+    results.put(("ready", pid))
+    # One component cache per batch: the driver runs batches serially, so a
+    # new batch_id means the previous batch's shards are all done and its
+    # memoised components can be dropped.
+    cache_batch_id = None
+    cache = {}
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        batch_id, shard_id, kind, triples, options = task
+        if batch_id != cache_batch_id:
+            cache_batch_id = batch_id
+            cache = {}
+        try:
+            if kind == "community":
+                answers = index.batch_community_edges(
+                    triples, on_empty="none", cache=cache
+                )
+            elif kind == "significant":
+                answers = searcher.batch_significant_communities(
+                    triples,
+                    method=options.get("method", "auto"),
+                    epsilon=options.get("epsilon", 2.0),
+                    on_empty="none",
+                )
+            else:
+                raise ValueError(f"unknown task kind {kind!r}")
+            results.put(("result", batch_id, shard_id, answers))
+        except BaseException as exc:  # noqa: BLE001 - ship failures to the driver
+            results.put(("error", batch_id, shard_id, describe_error(exc)))

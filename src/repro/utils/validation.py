@@ -11,6 +11,7 @@ __all__ = [
     "check_positive_int",
     "check_thresholds",
     "check_query_vertex",
+    "check_query_membership",
     "satisfies_degree_constraints",
     "is_significant_candidate",
 ]
@@ -29,15 +30,28 @@ def check_thresholds(alpha: int, beta: int) -> None:
     check_positive_int(beta, "beta")
 
 
-def check_query_vertex(graph: BipartiteGraph, query: Vertex) -> Vertex:
-    """Ensure the query vertex exists in ``graph``; return it."""
+def check_query_membership(contains, query: Vertex) -> Vertex:
+    """Validate a query handle against an arbitrary membership test.
+
+    The graph-free twin of :func:`check_query_vertex`, used by array-only
+    indexes (the snapshot store) that know their vertex set without holding a
+    materialised :class:`BipartiteGraph`.  Raises the same errors with the
+    same messages, so both validation paths are interchangeable.
+    """
     if not isinstance(query, Vertex):
         raise InvalidParameterError(
             f"query must be a Vertex handle (use repro.upper/lower), got {query!r}"
         )
-    if not graph.has_vertex(query.side, query.label):
+    if not contains(query):
         raise InvalidParameterError(f"query vertex {query!r} is not in the graph")
     return query
+
+
+def check_query_vertex(graph: BipartiteGraph, query: Vertex) -> Vertex:
+    """Ensure the query vertex exists in ``graph``; return it."""
+    return check_query_membership(
+        lambda vertex: graph.has_vertex(vertex.side, vertex.label), query
+    )
 
 
 def satisfies_degree_constraints(graph: BipartiteGraph, alpha: int, beta: int) -> bool:

@@ -5,8 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.__main__ import main
+from repro.graph.csr import HAS_NUMPY
 from repro.graph.generators import paper_example_graph
 from repro.graph.io import write_edge_list
+
+requires_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="snapshots and serving require numpy"
+)
 
 
 @pytest.fixture
@@ -70,3 +75,99 @@ class TestSearch:
         assert code == 0
         out = capsys.readouterr().out
         assert "more edges" in out or "weight" in out
+
+    def test_search_without_any_source_fails_cleanly(self, capsys):
+        code = main(["search", "--alpha", "2", "--beta", "2"])
+        assert code == 1
+        assert "--dataset, --edges or --index" in capsys.readouterr().err
+
+    def test_search_from_saved_pickle_index(self, capsys, tmp_path, edge_file):
+        from repro.graph.io import read_edge_list
+        from repro.index.degeneracy_index import DegeneracyIndex
+        from repro.index.serialization import save_index
+
+        index = DegeneracyIndex(read_edge_list(edge_file))
+        path = save_index(index, tmp_path / "idx.pkl")
+        code = main(
+            ["search", "--index", str(path), "--alpha", "2", "--beta", "2",
+             "--query-upper", "u3", "--method", "peel"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "significant (2,2)-community" in out
+        assert "u3, u4" in out
+
+    def test_search_with_missing_index_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            ["search", "--index", str(tmp_path / "missing.pkl"),
+             "--alpha", "2", "--beta", "2"]
+        )
+        assert code == 1
+        assert "cannot open index" in capsys.readouterr().err
+
+    def test_search_rejects_index_plus_graph_source(self, capsys, tmp_path, edge_file):
+        code = main(
+            ["search", "--edges", str(edge_file), "--index", str(tmp_path / "x"),
+             "--alpha", "2", "--beta", "2"]
+        )
+        assert code == 1
+        assert "not both" in capsys.readouterr().err
+
+
+@requires_numpy
+class TestSnapshotAndServe:
+    @pytest.fixture
+    def snapshot_dir(self, capsys, tmp_path, edge_file):
+        out_dir = tmp_path / "snap"
+        assert main(["snapshot", "--edges", str(edge_file), "--out", str(out_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "delta" in output
+        return out_dir
+
+    def test_snapshot_writes_manifest(self, snapshot_dir):
+        assert (snapshot_dir / "manifest.json").is_file()
+        assert (snapshot_dir / "arrays.bin").is_file()
+
+    def test_search_from_snapshot(self, capsys, snapshot_dir):
+        code = main(
+            ["search", "--index", str(snapshot_dir), "--alpha", "2", "--beta", "2",
+             "--query-upper", "u3", "--method", "peel"]
+        )
+        assert code == 0
+        assert "significant (2,2)-community" in capsys.readouterr().out
+
+    def test_serve_with_sampled_queries(self, capsys, snapshot_dir):
+        code = main(
+            ["serve", "--snapshot", str(snapshot_dir), "--workers", "2",
+             "--alpha", "2", "--beta", "2", "--sample", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        assert "queries/s" in out
+
+    def test_serve_with_query_file(self, capsys, tmp_path, snapshot_dir):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("# a comment\nupper u3 2 2\nlower v2 2 2\nupper u3 50 50\n")
+        code = main(
+            ["serve", "--snapshot", str(snapshot_dir), "--workers", "1",
+             "--queries", str(queries), "--on-empty", "none"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-> empty" in out
+        assert "answered 3 queries" in out
+
+    def test_serve_rejects_malformed_query_file(self, capsys, tmp_path, snapshot_dir):
+        queries = tmp_path / "bad.txt"
+        queries.write_text("sideways u3 2 2\n")
+        code = main(
+            ["serve", "--snapshot", str(snapshot_dir), "--queries", str(queries)]
+        )
+        assert code == 1
+        assert "expected" in capsys.readouterr().err
+
+    def test_serve_on_missing_snapshot_fails_cleanly(self, capsys, tmp_path):
+        code = main(["serve", "--snapshot", str(tmp_path / "nowhere")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
