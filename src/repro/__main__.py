@@ -1,6 +1,6 @@
 """User-facing command line interface: ``python -m repro``.
 
-Four subcommands:
+Six subcommands:
 
 ``search``
     Run a significant (α,β)-community query against a registry dataset, a
@@ -23,6 +23,23 @@ Four subcommands:
     near-instantly::
 
         python -m repro snapshot --dataset ML --out snapshots/ml
+
+``update``
+    Apply a file of edge insertions / removals to a saved index through the
+    incremental maintenance engine and re-save it — a snapshot gains a
+    *delta segment* next to its base instead of being rewritten::
+
+        python -m repro update --index snapshots/ml --ops ops.tsv
+
+    The ops file holds one ``insert <upper> <lower> [weight]`` or
+    ``remove <upper> <lower>`` per line (``+`` / ``-`` work as aliases).
+
+``stats``
+    Print the stored statistics of a saved index or snapshot, including the
+    maintenance observability counters of a maintained index (patched vs.
+    rebuilt levels, candidate-region sizes, arrays-patch hit rate)::
+
+        python -m repro stats --index snapshots/ml
 
 ``serve``
     Answer a batch of queries over a snapshot with sharded worker
@@ -94,6 +111,34 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "dict", "csr"],
         default="auto",
         help="index construction backend",
+    )
+
+    update = sub.add_parser(
+        "update",
+        help="apply a file of edge updates to a saved index and re-save it",
+    )
+    update.add_argument(
+        "--index", type=str, required=True, help="saved index file or snapshot directory"
+    )
+    update.add_argument(
+        "--ops",
+        type=str,
+        required=True,
+        help="file with one 'insert <upper> <lower> [weight]' or "
+        "'remove <upper> <lower>' per line",
+    )
+    update.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="where to save the updated index (default: back onto --index)",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="print the stored statistics of a saved index or snapshot"
+    )
+    stats.add_argument(
+        "--index", type=str, required=True, help="saved index file or snapshot directory"
     )
 
     serve = sub.add_parser(
@@ -213,6 +258,125 @@ def _run_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_ops_file(path: str) -> List[Tuple[str, str, str, float]]:
+    """Parse an edge-update file into ``(kind, upper, lower, weight)`` rows."""
+    kinds = {"insert": "insert", "+": "insert", "remove": "remove", "-": "remove"}
+    ops: List[Tuple[str, str, str, float]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            kind = kinds.get(parts[0])
+            if kind is None or len(parts) < 3 or (kind == "remove" and len(parts) != 3):
+                raise ReproError(
+                    f"{path}:{line_no}: expected 'insert <upper> <lower> [weight]' "
+                    f"or 'remove <upper> <lower>', got {line!r}"
+                )
+            weight = 1.0
+            if kind == "insert" and len(parts) == 4:
+                try:
+                    weight = float(parts[3])
+                except ValueError as exc:
+                    raise ReproError(f"{path}:{line_no}: bad weight {parts[3]!r}") from exc
+            elif len(parts) > 4:
+                raise ReproError(f"{path}:{line_no}: too many fields in {line!r}")
+            ops.append((kind, parts[1], parts[2], weight))
+    if not ops:
+        raise ReproError(f"{path} contains no updates")
+    return ops
+
+
+def _open_maintainable_index(path: str):
+    """Load a saved index and wrap it in the incremental maintenance engine."""
+    from repro.index.degeneracy_index import DegeneracyIndex
+    from repro.index.maintenance import DynamicDegeneracyIndex
+    from repro.index.serialization import load_index
+
+    try:
+        index = load_index(path)
+    except OSError as error:
+        raise ReproError(f"cannot open index {path}: {error}") from error
+    if isinstance(index, DynamicDegeneracyIndex):
+        return index
+    try:
+        from repro.serving.snapshot import SnapshotIndex
+    except ImportError:  # pragma: no cover - serving always importable
+        SnapshotIndex = ()  # type: ignore[assignment]
+    if isinstance(index, SnapshotIndex):
+        return DynamicDegeneracyIndex.from_snapshot(index)
+    if isinstance(index, DegeneracyIndex):
+        print("(index was not maintained before; rebuilding it as maintainable)")
+        return DynamicDegeneracyIndex(index.graph, backend=index.backend)
+    raise ReproError(
+        f"{type(index).__name__} does not support incremental maintenance; "
+        "only degeneracy-family indexes and snapshots do"
+    )
+
+
+def _print_stats(index) -> None:
+    stats = index.stats()
+    print(f"index      : {stats.name}")
+    print(f"entries    : {stats.entries}")
+    print(f"lists      : {stats.adjacency_lists}")
+    print(f"build [s]  : {stats.build_seconds:.3f}")
+    for key in sorted(stats.extra):
+        print(f"{key:<24}: {stats.extra[key]:g}")
+
+
+def _run_update(args: argparse.Namespace) -> int:
+    from repro.index.serialization import save_index
+
+    ops = _parse_ops_file(args.ops)
+    dynamic = _open_maintainable_index(args.index)
+    applied = skipped = 0
+    for kind, upper_label, lower_label, weight in ops:
+        if kind == "insert":
+            dynamic.insert_edge(upper_label, lower_label, weight)
+            applied += 1
+        elif dynamic.graph.has_edge(upper_label, lower_label):
+            dynamic.remove_edge(upper_label, lower_label)
+            applied += 1
+        else:
+            skipped += 1
+    target = args.out if args.out is not None else args.index
+    from pathlib import Path
+
+    # The saved format follows the *source* index: a snapshot directory stays
+    # a snapshot (appending a delta when saved back onto itself), a pickle
+    # stays a pickle — also on hosts without numpy.
+    is_snapshot = Path(args.index).is_dir()
+    saved = save_index(
+        dynamic, target, format="snapshot" if is_snapshot else "pickle"
+    )
+    print(f"applied    : {applied} updates ({skipped} removals skipped: edge absent)")
+    print(f"saved      : {saved}")
+    if is_snapshot:
+        from repro.serving.snapshot import snapshot_version
+
+        print(f"version    : base + {snapshot_version(saved)} delta segment(s)")
+    _print_stats(dynamic)
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    from repro.index.serialization import load_index
+
+    try:
+        index = load_index(args.index)
+    except OSError as error:
+        raise ReproError(f"cannot open index {args.index}: {error}") from error
+    _print_stats(index)
+    from pathlib import Path
+
+    if Path(args.index).is_dir():
+        from repro.serving.snapshot import snapshot_version
+
+        print(f"{'snapshot_version':<24}: base + {snapshot_version(args.index)} delta segment(s)")
+    return 0
+
+
 def _parse_query_file(path: str) -> List[BatchQuery]:
     queries: List[BatchQuery] = []
     with open(path, "r", encoding="utf-8") as handle:
@@ -287,6 +451,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_info(args)
         if args.command == "snapshot":
             return _run_snapshot(args)
+        if args.command == "update":
+            return _run_update(args)
+        if args.command == "stats":
+            return _run_stats(args)
         if args.command == "serve":
             return _run_serve(args)
         return _run_search(args)

@@ -34,6 +34,7 @@ __all__ = [
     "csr_abcore_masks",
     "csr_degeneracy",
     "csr_offsets_fixed_primary",
+    "csr_region_offsets_fixed_primary",
 ]
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -214,6 +215,129 @@ def csr_offsets_fixed_primary(
             removed_u, removed_l = _cascade(
                 csr, alive_u, alive_l, deg_u, deg_l, target, threshold, seeds_sec, _EMPTY
             )
+        off_u[removed_u] = level
+        off_l[removed_l] = level
+        level = target
+    return off_u, off_l
+
+
+class _ExternalSupports:
+    """External support entries of one layer, consumed in offset order.
+
+    Each entry ``(owner, offset)`` says: the region vertex ``owner`` has one
+    neighbour *outside* the region whose old offset at the processed level is
+    ``offset`` — that neighbour keeps supporting ``owner`` exactly while the
+    secondary peeling target stays ``<= offset``.  Entries are sorted by
+    offset once; :meth:`drop_below` consumes the prefix that expires when the
+    target rises and returns the owners whose degrees must drop.
+    """
+
+    __slots__ = ("owners", "offsets", "cursor")
+
+    def __init__(self, owners, offsets) -> None:
+        owners = np.asarray(owners, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        keep = offsets >= 1  # an offset-0 neighbour never supports anyone
+        order = np.argsort(offsets[keep], kind="stable")
+        self.owners = owners[keep][order]
+        self.offsets = offsets[keep][order]
+        self.cursor = 0
+
+    def next_expiry(self) -> int:
+        """Smallest offset still supporting anyone (-1 when exhausted)."""
+        if self.cursor >= self.offsets.shape[0]:
+            return -1
+        return int(self.offsets[self.cursor])
+
+    def drop_below(self, target: int):
+        """Owners of the entries that stop counting once the target is ``target``."""
+        end = int(np.searchsorted(self.offsets, target, side="left"))
+        dropped = self.owners[self.cursor : end]
+        self.cursor = end
+        return dropped
+
+
+def csr_region_offsets_fixed_primary(
+    csr: CSRBipartiteGraph,
+    ext_owner_u,
+    ext_offset_u,
+    ext_owner_l,
+    ext_offset_l,
+    primary_side: Side,
+    threshold: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Offsets of a *region* sub-CSR with the rest of the graph frozen.
+
+    ``csr`` holds only the edges internal to the candidate region (the paper's
+    S⁺/S⁻ set around an updated edge); every edge leaving the region is
+    represented by one external entry ``(owner id, old offset of the outside
+    neighbour at this level)``.  Because a vertex belongs to the (τ,β)-core
+    exactly when its offset at level τ is ≥ β, an outside neighbour supports
+    its region owner for every secondary target up to that old offset — so as
+    long as no boundary vertex's offset actually changes (which the caller
+    verifies afterwards), peeling the region against these frozen supports
+    reproduces exactly the offsets a whole-graph pass would compute.
+
+    The structure mirrors :func:`csr_offsets_fixed_primary`; the one extra
+    move is that every rise of the secondary target first expires the external
+    entries below it (a plain degree decrement), and the level jump is capped
+    by the next external expiry so supports stay constant across a jump.
+    """
+    num_u, num_l = csr.num_upper, csr.num_lower
+    deg_u = csr.upper_degrees().copy()
+    deg_l = csr.lower_degrees().copy()
+    ext_u = _ExternalSupports(ext_owner_u, ext_offset_u)
+    ext_l = _ExternalSupports(ext_owner_l, ext_offset_l)
+    if ext_u.owners.size:
+        deg_u += np.bincount(ext_u.owners, minlength=num_u)
+    if ext_l.owners.size:
+        deg_l += np.bincount(ext_l.owners, minlength=num_l)
+    alive_u = np.ones(num_u, dtype=bool)
+    alive_l = np.ones(num_l, dtype=bool)
+    off_u = np.zeros(num_u, dtype=np.int64)
+    off_l = np.zeros(num_l, dtype=np.int64)
+
+    if primary_side is Side.UPPER:
+        thr_u, thr_l = threshold, 1
+    else:
+        thr_u, thr_l = 1, threshold
+
+    # Phase 1: reduce to the (threshold, 1)-core under target-1 supports.
+    seeds_u = np.flatnonzero(deg_u < thr_u)
+    seeds_l = np.flatnonzero(deg_l < thr_l)
+    _cascade(csr, alive_u, alive_l, deg_u, deg_l, thr_u, thr_l, seeds_u, seeds_l)
+
+    alive_sec, deg_sec = (
+        (alive_l, deg_l) if primary_side is Side.UPPER else (alive_u, deg_u)
+    )
+
+    # Phase 2: raise the secondary target step by step.  Unlike the
+    # whole-graph kernel the loop runs while *either* layer is alive: a
+    # primary vertex supported purely by external neighbours outlives every
+    # internal secondary vertex and still has to be expired by offset.
+    level = 1
+    while bool(alive_u.any()) or bool(alive_l.any()):
+        alive_ids = np.flatnonzero(alive_sec)
+        min_degree = (
+            int(deg_sec[alive_ids].min()) if alive_ids.size else np.iinfo(np.int64).max
+        )
+        expiries = [e for e in (ext_u.next_expiry(), ext_l.next_expiry()) if e >= 0]
+        jump = min([min_degree] + expiries)
+        if jump == np.iinfo(np.int64).max:  # pragma: no cover - defensive
+            break  # nothing left to expire and no secondary vertex alive
+        level = max(level, jump)
+        target = level + 1
+        _decrement(deg_u, ext_u.drop_below(target))
+        _decrement(deg_l, ext_l.drop_below(target))
+        if primary_side is Side.UPPER:
+            thr_u, thr_l = threshold, target
+        else:
+            thr_u, thr_l = target, threshold
+        seeds_u = np.flatnonzero(alive_u & (deg_u < thr_u))
+        seeds_l = np.flatnonzero(alive_l & (deg_l < thr_l))
+        removed_u, removed_l = _cascade(
+            csr, alive_u, alive_l, deg_u, deg_l, thr_u, thr_l, seeds_u, seeds_l
+        )
         off_u[removed_u] = level
         off_l[removed_l] = level
         level = target

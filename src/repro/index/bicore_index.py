@@ -21,7 +21,7 @@ from typing import Dict, List, Set, Tuple
 from repro.decomposition.degeneracy import degeneracy
 from repro.decomposition.offsets import alpha_offsets, beta_offsets
 from repro.exceptions import EmptyCommunityError
-from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.csr import resolve_backend
 from repro.index.base import CommunityIndex, IndexStats
 from repro.index.queries import community_from_core_vertices
@@ -37,10 +37,13 @@ _SortedVertices = List[Tuple[Vertex, int]]
 class BicoreIndex(CommunityIndex):
     """Vertex-level index over (α,β)-core membership (the paper's ``Iv``).
 
-    ``backend`` selects the engine of the underlying degeneracy / offset
-    computations (``"dict"``, ``"csr"`` or ``"auto"``), with the same
-    semantics and validation as the edge-level indexes; the sorted membership
-    tables themselves are plain Python structures on either backend.
+    ``backend`` selects the engine of the whole construction (``"dict"``,
+    ``"csr"`` or ``"auto"``), with the same semantics and validation as the
+    edge-level indexes.  The CSR backend freezes the graph once and builds
+    every sorted membership table array-natively — the per-level offset
+    passes run on the peeling kernels and the sort is one stable argsort
+    over the concatenated offset arrays — producing tables identical to the
+    dict backend's ``sorted`` output.
     """
 
     def __init__(self, graph: BipartiteGraph, backend: str = "auto") -> None:
@@ -55,19 +58,39 @@ class BicoreIndex(CommunityIndex):
     # ------------------------------------------------------------------ #
     def _build(self) -> None:
         with Timer() as timer:
-            self._delta = degeneracy(self._graph, backend=self._backend)
-            for tau in range(1, self._delta + 1):
-                sa = alpha_offsets(self._graph, tau, backend=self._backend)
-                sb = beta_offsets(self._graph, tau, backend=self._backend)
-                self._alpha_tables[tau] = sorted(
-                    ((v, off) for v, off in sa.items() if off >= 1),
-                    key=lambda item: -item[1],
-                )
-                self._beta_tables[tau] = sorted(
-                    ((v, off) for v, off in sb.items() if off >= 1),
-                    key=lambda item: -item[1],
-                )
+            if self._backend == "csr":
+                self._build_csr()
+            else:
+                self._delta = degeneracy(self._graph, backend="dict")
+                for tau in range(1, self._delta + 1):
+                    sa = alpha_offsets(self._graph, tau, backend="dict")
+                    sb = beta_offsets(self._graph, tau, backend="dict")
+                    self._alpha_tables[tau] = sorted(
+                        ((v, off) for v, off in sa.items() if off >= 1),
+                        key=lambda item: -item[1],
+                    )
+                    self._beta_tables[tau] = sorted(
+                        ((v, off) for v, off in sb.items() if off >= 1),
+                        key=lambda item: -item[1],
+                    )
         self._build_seconds = timer.elapsed
+
+    def _build_csr(self) -> None:
+        """Array-native construction: freeze once, assemble tables per level."""
+        from repro.decomposition.csr_kernels import (
+            csr_degeneracy,
+            csr_offsets_fixed_primary,
+        )
+        from repro.graph.csr import freeze
+        from repro.index.csr_build import assemble_sorted_vertex_table
+
+        csr = freeze(self._graph)
+        self._delta = csr_degeneracy(csr)
+        for tau in range(1, self._delta + 1):
+            sa_u, sa_l = csr_offsets_fixed_primary(csr, Side.UPPER, tau)
+            sb_u, sb_l = csr_offsets_fixed_primary(csr, Side.LOWER, tau)
+            self._alpha_tables[tau] = assemble_sorted_vertex_table(csr, sa_u, sa_l)
+            self._beta_tables[tau] = assemble_sorted_vertex_table(csr, sb_u, sb_l)
 
     # ------------------------------------------------------------------ #
     @property

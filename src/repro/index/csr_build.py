@@ -47,6 +47,10 @@ __all__ = [
     "level_side_entries",
     "build_level_arrays",
     "level_arrays_from_dicts",
+    "level_dicts_from_arrays",
+    "entries_to_patch_arrays",
+    "patch_level_arrays",
+    "assemble_sorted_vertex_table",
 ]
 
 #: Per-side filtered edge arrays sorted by (owner id, decreasing offset):
@@ -252,6 +256,190 @@ def build_level_arrays(
         entry_offset=entry_offset,
         offsets=offsets,
     )
+
+
+def level_dicts_from_arrays(
+    arrays: LevelArrays,
+    handles,
+    tau: int,
+    alpha_half: bool,
+) -> Tuple[Dict[Vertex, int], AdjacencyLists]:
+    """Rebuild one level's dict structures from its flat :class:`LevelArrays`.
+
+    The inverse of :func:`level_arrays_from_dicts`, used to reopen a snapshot
+    as a *mutable* index (``DynamicDegeneracyIndex.from_snapshot``) without a
+    from-scratch peel.  ``handles`` maps global ids to :class:`Vertex` handles
+    (``None`` marks a dead id left behind by maintenance removals).  The
+    α-half stores a (possibly empty) list for every (τ,τ)-core member, the
+    β-half only non-empty lists — matching what ``_build_level`` produces.
+    """
+    offsets: Dict[Vertex, int] = {}
+    lists: AdjacencyLists = {}
+    indptr = arrays.indptr
+    entry_vertex = arrays.entry_vertex.tolist()
+    entry_weight = arrays.entry_weight.tolist()
+    entry_offset = arrays.entry_offset.tolist()
+    offset_values = arrays.offsets.tolist()
+    for gid, handle in enumerate(handles):
+        if handle is None:
+            continue
+        offset = int(offset_values[gid])
+        offsets[handle] = offset
+        lo, hi = int(indptr[gid]), int(indptr[gid + 1])
+        if hi > lo:
+            lists[handle] = [
+                (handles[entry_vertex[pos]], entry_weight[pos], entry_offset[pos])
+                for pos in range(lo, hi)
+            ]
+        elif alpha_half and offset >= tau:
+            lists[handle] = []
+    return offsets, lists
+
+
+def entries_to_patch_arrays(
+    updates: Dict[int, list],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten ``{gid: [(nbr_gid, weight, offset), ...]}`` into patch arrays.
+
+    Returns ``(gids, counts, entry_vertex, entry_weight, entry_offset)`` with
+    ``gids`` ascending and the entry arrays concatenated in that order — the
+    wire form shared by in-memory :func:`patch_level_arrays` calls and the
+    snapshot delta segments.
+    """
+    gids = np.array(sorted(updates), dtype=np.int64)
+    counts = np.array([len(updates[int(g)]) for g in gids], dtype=np.int64)
+    total = int(counts.sum())
+    entry_vertex = np.empty(total, dtype=np.int64)
+    entry_weight = np.empty(total, dtype=np.float64)
+    entry_offset = np.empty(total, dtype=np.int64)
+    pos = 0
+    for gid in gids.tolist():
+        for nbr, weight, offset in updates[gid]:
+            entry_vertex[pos] = nbr
+            entry_weight[pos] = weight
+            entry_offset[pos] = offset
+            pos += 1
+    return gids, counts, entry_vertex, entry_weight, entry_offset
+
+
+def patch_level_arrays(
+    arrays: LevelArrays,
+    gids: np.ndarray,
+    counts: np.ndarray,
+    entry_vertex: np.ndarray,
+    entry_weight: np.ndarray,
+    entry_offset: np.ndarray,
+    offset_gids: np.ndarray,
+    offset_values: np.ndarray,
+    allow_in_place: bool = True,
+) -> LevelArrays:
+    """Splice patched per-vertex entry slices into a :class:`LevelArrays`.
+
+    ``gids``/``counts``/entry arrays come from :func:`entries_to_patch_arrays`;
+    ``offset_gids``/``offset_values`` assign the patched per-vertex offsets
+    (zeros included, so vanished vertices are wiped).  When every patched
+    vertex keeps its entry count and the underlying buffers are writable, the
+    patch is applied in place (the common case for reweights and small
+    updates); otherwise the arrays are rebuilt with one pass that copies the
+    unchanged gaps between patched vertices — never touching entries outside
+    the patched region.  Snapshot replay passes ``allow_in_place=False``
+    because its base segments are read-only memory maps.
+    """
+    gids = np.asarray(gids, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    offset_gids = np.asarray(offset_gids, dtype=np.int64)
+    offset_values = np.asarray(offset_values, dtype=np.int64)
+    indptr = arrays.indptr
+    writable = all(
+        getattr(buf, "flags", None) is not None and buf.flags.writeable
+        for buf in (
+            arrays.indptr,
+            arrays.entry_vertex,
+            arrays.entry_weight,
+            arrays.entry_offset,
+            arrays.offsets,
+        )
+    )
+    old_counts = indptr[gids + 1] - indptr[gids] if gids.size else counts
+    if allow_in_place and writable and np.array_equal(old_counts, counts):
+        pos = 0
+        for gid, count in zip(gids.tolist(), counts.tolist()):
+            lo = int(indptr[gid])
+            arrays.entry_vertex[lo : lo + count] = entry_vertex[pos : pos + count]
+            arrays.entry_weight[lo : lo + count] = entry_weight[pos : pos + count]
+            arrays.entry_offset[lo : lo + count] = entry_offset[pos : pos + count]
+            pos += count
+        if offset_gids.size:
+            arrays.offsets[offset_gids] = offset_values
+        return arrays
+
+    per_vertex = np.asarray(indptr[1:] - indptr[:-1], dtype=np.int64)
+    per_vertex[gids] = counts
+    new_indptr = np.zeros(indptr.shape[0], dtype=np.int64)
+    np.cumsum(per_vertex, out=new_indptr[1:])
+    total = int(new_indptr[-1])
+    new_vertex = np.empty(total, dtype=np.int64)
+    new_weight = np.empty(total, dtype=np.float64)
+    new_offset = np.empty(total, dtype=np.int64)
+
+    # Copy the unchanged runs between consecutive patched vertices; both id
+    # spaces advance by identical amounts inside a run, so plain slices do.
+    prev_old = 0
+    prev_new = 0
+    for gid in gids.tolist():
+        old_lo = int(indptr[gid])
+        if old_lo > prev_old:
+            new_lo = int(new_indptr[gid])
+            new_vertex[prev_new:new_lo] = arrays.entry_vertex[prev_old:old_lo]
+            new_weight[prev_new:new_lo] = arrays.entry_weight[prev_old:old_lo]
+            new_offset[prev_new:new_lo] = arrays.entry_offset[prev_old:old_lo]
+        prev_old = int(indptr[gid + 1])
+        prev_new = int(new_indptr[gid + 1])
+    if int(indptr[-1]) > prev_old:
+        new_vertex[prev_new:] = arrays.entry_vertex[prev_old:]
+        new_weight[prev_new:] = arrays.entry_weight[prev_old:]
+        new_offset[prev_new:] = arrays.entry_offset[prev_old:]
+
+    pos = 0
+    for gid, count in zip(gids.tolist(), counts.tolist()):
+        lo = int(new_indptr[gid])
+        new_vertex[lo : lo + count] = entry_vertex[pos : pos + count]
+        new_weight[lo : lo + count] = entry_weight[pos : pos + count]
+        new_offset[lo : lo + count] = entry_offset[pos : pos + count]
+        pos += count
+
+    offsets = np.array(arrays.offsets, dtype=np.int64, copy=True)
+    if offset_gids.size:
+        offsets[offset_gids] = offset_values
+    return LevelArrays(
+        num_upper=arrays.num_upper,
+        indptr=new_indptr,
+        entry_vertex=new_vertex,
+        entry_weight=new_weight,
+        entry_offset=new_offset,
+        offsets=offsets,
+    )
+
+
+def assemble_sorted_vertex_table(
+    csr: CSRBipartiteGraph, upper_offsets: np.ndarray, lower_offsets: np.ndarray
+):
+    """One bicore-index membership table, assembled array-natively.
+
+    The table lists every vertex with a non-zero offset, sorted by decreasing
+    offset; a stable argsort over the concatenated (upper first) offset arrays
+    reproduces exactly the order the dict backend's ``sorted`` produces, so
+    both backends build identical tables.
+    """
+    offsets = np.concatenate((upper_offsets, lower_offsets))
+    nonzero = np.flatnonzero(offsets >= 1)
+    order = np.argsort(-offsets[nonzero], kind="stable")
+    chosen = nonzero[order]
+    handles = csr.global_handles()
+    return [
+        (handles[gid], offset)
+        for gid, offset in zip(chosen.tolist(), offsets[chosen].tolist())
+    ]
 
 
 def level_arrays_from_dicts(

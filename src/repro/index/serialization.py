@@ -76,14 +76,32 @@ def save_index(
     ``.stats.json`` side-car; ``format="snapshot"`` (version 2) writes the
     mmap-able directory layout of :func:`repro.serving.snapshot.save_snapshot`
     — ``path`` then names the snapshot directory.
+
+    Saving a maintained :class:`~repro.index.maintenance.DynamicDegeneracyIndex`
+    as a snapshot is *incremental*: when the target directory already holds
+    the base the index was saved to (or loaded from) and every update since
+    stayed inside the base's vertex id space, only a delta segment describing
+    the patched level slices is appended
+    (:func:`repro.serving.snapshot.save_snapshot_delta`); otherwise a fresh
+    full base is written and the old delta chain is cleared.
     """
     if format not in SAVE_FORMATS:
         raise InvalidParameterError(
             f"unknown save format {format!r}; expected one of {SAVE_FORMATS}"
         )
     if format == "snapshot":
-        from repro.serving.snapshot import save_snapshot
+        from repro.serving.snapshot import MANIFEST_NAME, save_snapshot, save_snapshot_delta
 
+        journal = getattr(index, "journal", None)
+        directory = Path(path)
+        if (
+            journal is not None
+            and journal.can_append_to(str(directory))
+            and (directory / MANIFEST_NAME).is_file()
+        ):
+            if not journal.has_changes:
+                return directory  # nothing new since the last segment
+            return save_snapshot_delta(index, directory)
         return save_snapshot(index, path)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

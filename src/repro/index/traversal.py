@@ -291,9 +291,25 @@ class ArrayQueryPath:
         """True when ``vertex`` belongs to the interned id space."""
         return vertex in self._global_ids
 
+    def global_id(self, vertex: Vertex) -> Optional[int]:
+        """The interned global id of ``vertex`` (``None`` when unknown)."""
+        return self._global_ids.get(vertex)
+
+    def global_id_map(self) -> Dict[Vertex, int]:
+        """The full ``{vertex: global id}`` mapping of this path's id space."""
+        return self._global_ids
+
+    def level_keys(self):
+        """The keys of every materialised level (patch targets)."""
+        return list(self._levels)
+
     def set_level(self, key: Hashable, arrays) -> None:
-        """Register a natively built level."""
+        """Register a natively built level (or swap in a patched one)."""
         self._levels[key] = arrays
+
+    def drop_level(self, key: Hashable) -> None:
+        """Forget a level (it vanished or must be rebuilt lazily)."""
+        self._levels.pop(key, None)
 
     def ensure_level(
         self,

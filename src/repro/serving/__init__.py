@@ -19,11 +19,19 @@ version-1 pickle format of :mod:`repro.index.serialization`.
 """
 
 from repro.serving.server import CommunityServer
-from repro.serving.snapshot import SnapshotIndex, load_snapshot, save_snapshot
+from repro.serving.snapshot import (
+    SnapshotIndex,
+    load_snapshot,
+    save_snapshot,
+    save_snapshot_delta,
+    snapshot_version,
+)
 
 __all__ = [
     "CommunityServer",
     "SnapshotIndex",
     "save_snapshot",
+    "save_snapshot_delta",
     "load_snapshot",
+    "snapshot_version",
 ]

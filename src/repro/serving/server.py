@@ -218,6 +218,29 @@ class CommunityServer:
             shutil.rmtree(self._snapshot_dir, ignore_errors=True)
             self._cleanup_snapshot = False
 
+    def reload(self) -> "CommunityServer":
+        """Swap the workers onto the snapshot directory's current version.
+
+        A maintained index persisted with ``save_index(format="snapshot")``
+        appends delta segments next to the base the fleet is serving from;
+        ``reload`` restarts the workers so every one reopens the snapshot and
+        replays the new deltas.  Batches are synchronous, so calling this
+        between batches swaps versions without dropping a query; a server
+        that was not running is left stopped.  Returns ``self``.
+        """
+        was_running = self.is_running
+        self.stop(_cleanup=False)
+        self._labels = None
+        if was_running:
+            self.start()
+        return self
+
+    def snapshot_version(self) -> int:
+        """The served snapshot's version (number of delta segments)."""
+        from repro.serving.snapshot import snapshot_version
+
+        return snapshot_version(self._snapshot_dir)
+
     def __enter__(self) -> "CommunityServer":
         return self.start()
 

@@ -41,7 +41,7 @@ from repro.exceptions import (
     IndexConsistencyError,
     InvalidParameterError,
 )
-from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.csr import HAS_NUMPY
 from repro.index.base import CommunityIndex, IndexStats, apply_batch_policy
 from repro.utils.validation import check_query_membership, check_thresholds
@@ -56,8 +56,11 @@ __all__ = [
     "DATA_NAME",
     "SnapshotIndex",
     "save_snapshot",
+    "save_snapshot_delta",
     "load_snapshot",
     "load_label_arrays",
+    "snapshot_version",
+    "delta_paths",
 ]
 
 PathLike = Union[str, Path]
@@ -66,6 +69,17 @@ MANIFEST_NAME = "manifest.json"
 DATA_NAME = "arrays.bin"
 LABELS_JSON_NAME = "labels.json"
 LABELS_PICKLE_NAME = "labels.pkl"
+
+#: Delta segment file names: ``delta-00001.json`` + ``delta-00001.bin``.
+DELTA_GLOB = "delta-*.json"
+
+
+def _delta_manifest_name(sequence: int) -> str:
+    return f"delta-{sequence:05d}.json"
+
+
+def _delta_data_name(sequence: int) -> str:
+    return f"delta-{sequence:05d}.bin"
 
 #: Segment alignment inside ``arrays.bin``.  One cache line keeps every
 #: vectorised gather aligned regardless of the preceding segment's length.
@@ -90,13 +104,56 @@ def _little_endian(array):
 # --------------------------------------------------------------------------- #
 # saving
 # --------------------------------------------------------------------------- #
+def _write_segment_file(path: Path, items) -> Tuple[Dict[str, Dict[str, object]], int]:
+    """Write aligned segments to ``path``; return the segment table and size.
+
+    ``items`` yields ``(name, payload)`` pairs where a payload is either a
+    numpy array (stored raw little-endian) or ``("pickle", obj)`` for the few
+    non-array payloads of the delta format (ops and removed-vertex handles,
+    whose labels are arbitrary hashables).
+    """
+    segments: Dict[str, Dict[str, object]] = {}
+    offset = 0
+    with open(path, "wb") as handle:
+        for name, payload in items:
+            padding = (-offset) % _ALIGNMENT
+            if padding:
+                handle.write(b"\0" * padding)
+                offset += padding
+            if isinstance(payload, tuple) and payload[0] == "pickle":
+                data = pickle.dumps(payload[1], protocol=pickle.HIGHEST_PROTOCOL)
+                record: Dict[str, object] = {"encoding": "pickle"}
+            else:
+                array = _little_endian(np.ascontiguousarray(payload))
+                data = array.tobytes()
+                record = {"dtype": array.dtype.str, "shape": list(array.shape)}
+            handle.write(data)
+            record["offset"] = offset
+            record["nbytes"] = len(data)
+            segments[name] = record
+            offset += len(data)
+    return segments, offset
+
+
+def _write_manifest(directory: Path, name: str, manifest: Dict) -> None:
+    """Write a manifest atomically (staged + rename), always last."""
+    staging = directory / (name + ".tmp")
+    with open(staging, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    staging.replace(directory / name)
+
+
 def save_snapshot(index: CommunityIndex, directory: PathLike) -> Path:
     """Persist ``index`` as a version-2 snapshot directory; return its path.
 
     Supported for the degeneracy-family indexes (anything exposing
     ``export_level_arrays``); other indexes keep the pickle format.  The
     manifest is written last, so a crashed save never looks like a valid
-    snapshot.
+    snapshot.  Any delta segments of a previous base are removed first — they
+    describe the old base's id space.  When the index carries a maintenance
+    journal (:class:`~repro.index.maintenance.DynamicDegeneracyIndex`), the
+    journal is bound to the fresh base so later saves to the same directory
+    can append deltas instead of rewriting.
     """
     if not HAS_NUMPY:
         raise InvalidParameterError(
@@ -109,6 +166,8 @@ def save_snapshot(index: CommunityIndex, directory: PathLike) -> Path:
             f"{type(index).__name__} does not support the snapshot format; "
             "use save_index(..., format='pickle')"
         )
+    import uuid
+
     from repro.graph.csr import freeze
     from repro.index.serialization import SNAPSHOT_VERSION, _MAGIC, index_metadata
 
@@ -117,45 +176,33 @@ def save_snapshot(index: CommunityIndex, directory: PathLike) -> Path:
     # Drop any previous manifest before touching the data file: a crash
     # mid-save must never leave an old manifest pointing at new segments.
     (directory / MANIFEST_NAME).unlink(missing_ok=True)
+    for stale in directory.glob(DELTA_GLOB):
+        stale.unlink(missing_ok=True)
+        stale.with_suffix(".bin").unlink(missing_ok=True)
 
     graph = index.graph
     csr = freeze(graph)
     levels = export()
 
-    arrays: Dict[str, "np.ndarray"] = {}
-    for field in _GRAPH_FIELDS:
-        arrays[f"graph/{field}"] = getattr(csr, field)
-    for (half, tau), level in sorted(levels.items()):
-        for field in _LEVEL_FIELDS:
-            arrays[f"level/{half}/{tau}/{field}"] = getattr(level, field)
+    def arrays():
+        for field in _GRAPH_FIELDS:
+            yield f"graph/{field}", getattr(csr, field)
+        for (half, tau), level in sorted(levels.items()):
+            for field in _LEVEL_FIELDS:
+                yield f"level/{half}/{tau}/{field}", getattr(level, field)
 
-    segments: Dict[str, Dict[str, object]] = {}
-    offset = 0
-    with open(directory / DATA_NAME, "wb") as handle:
-        for name, array in arrays.items():
-            array = _little_endian(np.ascontiguousarray(array))
-            padding = (-offset) % _ALIGNMENT
-            if padding:
-                handle.write(b"\0" * padding)
-                offset += padding
-            data = array.tobytes()
-            handle.write(data)
-            segments[name] = {
-                "dtype": array.dtype.str,
-                "shape": list(array.shape),
-                "offset": offset,
-                "nbytes": len(data),
-            }
-            offset += len(data)
+    segments, size = _write_segment_file(directory / DATA_NAME, arrays())
 
     labels = {"upper": list(csr.upper_labels), "lower": list(csr.lower_labels)}
     labels_file = _write_labels(directory, labels)
 
+    snapshot_id = uuid.uuid4().hex
     stats = index.stats()
     manifest = {
         "magic": _MAGIC,
         "version": SNAPSHOT_VERSION,
         "format": "snapshot",
+        "snapshot_id": snapshot_id,
         **index_metadata(index),
         "index": {
             "name": stats.name,
@@ -169,15 +216,139 @@ def save_snapshot(index: CommunityIndex, directory: PathLike) -> Path:
             "num_edges": csr.num_edges,
         },
         "labels": {"file": labels_file},
-        "data": {"file": DATA_NAME, "size": offset},
+        "data": {"file": DATA_NAME, "size": size},
         "segments": segments,
     }
-    # The manifest is written last and moved into place atomically, so a
-    # crashed save never looks like a valid snapshot.
-    staging = directory / (MANIFEST_NAME + ".tmp")
-    with open(staging, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-    staging.replace(directory / MANIFEST_NAME)
+    _write_manifest(directory, MANIFEST_NAME, manifest)
+    journal = getattr(index, "journal", None)
+    if journal is not None:
+        journal.bind_base(
+            str(directory),
+            snapshot_id,
+            0,
+            int(getattr(index, "delta", 0)),
+            csr.num_upper,
+            csr.num_vertices,
+            csr.global_id_map(),
+        )
+    return directory
+
+
+def save_snapshot_delta(index, directory: PathLike) -> Path:
+    """Append one delta segment for a maintained index's pending changes.
+
+    The index's :class:`~repro.index.maintenance.MaintenanceJournal` must be
+    bound to ``directory``'s current base (the caller —
+    :func:`repro.index.serialization.save_index` — checks and otherwise
+    rewrites a full base).  The delta stores, in the *base's* global id
+    space: per dirty level the patched vertices' entry slices and offsets
+    (or whole replacement arrays for levels the base never had), the applied
+    graph operations, and the net set of removed vertices.  The delta
+    manifest is written last, after its data file, so a crashed append never
+    leaves a readable-but-dangling chain link.
+    """
+    directory = Path(directory)
+    journal = index.journal
+    manifest = _read_manifest(directory)
+    if manifest.get("snapshot_id") != journal.base_id:
+        raise IndexConsistencyError(
+            f"snapshot at {directory} is not the base this index was saved "
+            "against; write a fresh snapshot instead"
+        )
+    from repro.index.csr_build import entries_to_patch_arrays, level_arrays_from_dicts
+    from repro.index.serialization import SNAPSHOT_VERSION, _MAGIC, index_metadata
+
+    sequence = journal.base_sequence + 1
+    global_ids = journal.base_global_ids
+    delta_value = int(index.delta)
+    full_keys = []
+    patch_keys = []
+    for tau in range(1, delta_value + 1):
+        for half in ("alpha", "beta"):
+            key = (half, tau)
+            if tau > journal.base_delta or key in journal.full_levels:
+                full_keys.append(key)
+            elif journal.dirty.get(key):
+                patch_keys.append(key)
+
+    def stores(half: str):
+        if half == "alpha":
+            return index._alpha_offsets, index._alpha_lists
+        return index._beta_offsets, index._beta_lists
+
+    def payloads():
+        for half, tau in full_keys:
+            offsets, lists = stores(half)
+            arrays = level_arrays_from_dicts(
+                offsets.get(tau, {}),
+                lists.get(tau, {}),
+                global_ids,
+                journal.base_num_upper,
+                journal.base_num_vertices,
+            )
+            for field in _LEVEL_FIELDS:
+                yield f"level/{half}/{tau}/{field}", getattr(arrays, field)
+        for half, tau in patch_keys:
+            offsets, lists = stores(half)
+            level_offsets = offsets.get(tau, {})
+            level_lists = lists.get(tau, {})
+            updates = {}
+            offset_values = {}
+            for vertex in journal.dirty[(half, tau)]:
+                gid = global_ids.get(vertex)
+                if gid is None:  # pragma: no cover - guarded by journal.compatible
+                    raise IndexConsistencyError(
+                        f"vertex {vertex!r} has no id in the base snapshot at "
+                        f"{directory}; write a fresh snapshot instead"
+                    )
+                updates[gid] = [
+                    (global_ids[nbr], weight, offset)
+                    for nbr, weight, offset in level_lists.get(vertex) or ()
+                ]
+                offset_values[gid] = level_offsets.get(vertex, 0)
+            gids, counts, ev, ew, eo = entries_to_patch_arrays(updates)
+            prefix = f"patch/{half}/{tau}"
+            yield f"{prefix}/gids", gids
+            yield f"{prefix}/counts", counts
+            yield f"{prefix}/entry_vertex", ev
+            yield f"{prefix}/entry_weight", ew
+            yield f"{prefix}/entry_offset", eo
+            yield f"{prefix}/offset_values", np.array(
+                [offset_values[g] for g in gids.tolist()], dtype=np.int64
+            )
+        yield "ops", ("pickle", list(journal.ops))
+        yield "removed", ("pickle", sorted(journal.removed, key=repr))
+
+    data_name = _delta_data_name(sequence)
+    segments, size = _write_segment_file(directory / data_name, payloads())
+
+    graph = index.graph
+    stats = index.stats()
+    delta_manifest = {
+        "magic": _MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "kind": "delta",
+        "sequence": sequence,
+        "base_id": journal.base_id,
+        **index_metadata(index),
+        "index": {
+            "name": stats.name,
+            "delta": delta_value,
+            "stats": stats.as_dict(),
+        },
+        "graph": {
+            "name": graph.name,
+            "num_upper": graph.num_upper,
+            "num_lower": graph.num_lower,
+            "num_edges": graph.num_edges,
+        },
+        "full_levels": [f"{half}/{tau}" for half, tau in full_keys],
+        "patched_levels": [f"{half}/{tau}" for half, tau in patch_keys],
+        "data": {"file": data_name, "size": size},
+        "segments": segments,
+    }
+    _write_manifest(directory, _delta_manifest_name(sequence), delta_manifest)
+    journal.advance(sequence, delta_value)
     return directory
 
 
@@ -199,27 +370,18 @@ def _write_labels(directory: Path, labels: Dict[str, List[Hashable]]) -> str:
 # --------------------------------------------------------------------------- #
 # loading
 # --------------------------------------------------------------------------- #
-def load_snapshot(directory: PathLike) -> "SnapshotIndex":
-    """Reopen a snapshot written by :func:`save_snapshot`.
+def _segment_reader(directory: Path, manifest: Dict, data_name_default: str):
+    """A closure reading named segments of one (manifest, data file) pair.
 
-    Only the manifest and the label table are read eagerly; ``arrays.bin`` is
-    mapped once read-only and every segment becomes a zero-copy view into the
-    mapping.  Raises :class:`IndexConsistencyError` for a missing or corrupted
-    manifest, truncated data file or absent segments, naming the path.
+    Arrays come back as zero-copy views into a read-only memory map; pickled
+    segments (delta ops / removed handles) are decoded eagerly.  Every
+    malformed record raises :class:`IndexConsistencyError` naming the path.
     """
-    directory = Path(directory)
-    manifest = _read_manifest(directory)
-    if not HAS_NUMPY:
-        raise InvalidParameterError(
-            f"opening the snapshot at {directory} requires numpy, which is "
-            "not installed"
-        )
-    labels = _read_labels(directory, manifest)
     segments = manifest.get("segments")
     if not isinstance(segments, dict):
         raise _corrupt(directory, "manifest has no segment table")
-
-    data_path = directory / manifest.get("data", {}).get("file", DATA_NAME)
+    data_name = manifest.get("data", {}).get("file", data_name_default)
+    data_path = directory / data_name
     if not data_path.is_file():
         raise _corrupt(directory, f"data file {data_path.name} is missing")
     actual_size = data_path.stat().st_size
@@ -232,13 +394,15 @@ def load_snapshot(directory: PathLike) -> "SnapshotIndex":
         if spec is None:
             raise _corrupt(directory, f"segment {name!r} is missing from the manifest")
         try:
-            dtype = np.dtype(spec["dtype"])
-            shape = tuple(int(dim) for dim in spec["shape"])
+            encoding = spec.get("encoding", "raw")
             offset = int(spec["offset"])
             nbytes = int(spec["nbytes"])
+            if encoding == "raw":
+                dtype = np.dtype(spec["dtype"])
+                shape = tuple(int(dim) for dim in spec["shape"])
         except (KeyError, TypeError, ValueError) as exc:
             raise _corrupt(directory, f"segment {name!r} has a malformed record") from exc
-        if nbytes == 0:
+        if nbytes == 0 and encoding == "raw":
             return np.empty(shape, dtype=dtype)
         if buffer is None or offset + nbytes > actual_size:
             raise _corrupt(
@@ -246,6 +410,13 @@ def load_snapshot(directory: PathLike) -> "SnapshotIndex":
                 f"segment {name!r} extends past the end of {data_path.name} "
                 f"(needs {offset + nbytes} bytes, file has {actual_size})",
             )
+        if encoding == "pickle":
+            try:
+                return pickle.loads(buffer[offset : offset + nbytes].tobytes())
+            except Exception as exc:  # noqa: BLE001 - decode failure == corruption
+                raise _corrupt(
+                    directory, f"segment {name!r} cannot be unpickled ({exc})"
+                ) from exc
         try:
             view = np.frombuffer(
                 buffer, dtype=dtype, count=nbytes // dtype.itemsize, offset=offset
@@ -256,9 +427,104 @@ def load_snapshot(directory: PathLike) -> "SnapshotIndex":
                 directory, f"segment {name!r} has an inconsistent record ({exc})"
             ) from exc
 
+    return segment
+
+
+def delta_paths(directory: PathLike) -> List[Path]:
+    """The snapshot's delta manifests, validated as a contiguous chain.
+
+    Raises :class:`IndexConsistencyError` naming the first missing link when
+    the on-disk sequence numbers have a gap (a partially copied or tampered
+    snapshot directory).
+    """
+    directory = Path(directory)
+    found = sorted(directory.glob(DELTA_GLOB))
+    for position, path in enumerate(found, start=1):
+        expected = directory / _delta_manifest_name(position)
+        if path != expected:
+            raise IndexConsistencyError(
+                f"snapshot at {directory} is missing delta segment {expected} "
+                f"(found {path.name} instead)"
+            )
+    return found
+
+
+def snapshot_version(directory: PathLike) -> int:
+    """The snapshot's version: the number of delta segments after the base."""
+    return len(delta_paths(directory))
+
+
+def _read_delta_manifest(directory: Path, path: Path, base_id: Optional[str], sequence: int) -> Dict:
+    from repro.index.serialization import SNAPSHOT_VERSION, _MAGIC
+
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise IndexConsistencyError(
+            f"delta segment {path} is unreadable ({exc})"
+        ) from exc
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("magic") != _MAGIC
+        or manifest.get("kind") != "delta"
+    ):
+        raise IndexConsistencyError(
+            f"delta segment {path} does not describe a community-index delta"
+        )
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise IndexConsistencyError(
+            f"unsupported delta version {manifest.get('version')!r} in {path}"
+        )
+    if manifest.get("sequence") != sequence:
+        raise IndexConsistencyError(
+            f"delta segment {path} carries sequence {manifest.get('sequence')!r}, "
+            f"expected {sequence}"
+        )
+    if base_id is not None and manifest.get("base_id") != base_id:
+        raise IndexConsistencyError(
+            f"delta segment {path} belongs to a different base snapshot "
+            f"({manifest.get('base_id')!r})"
+        )
+    return manifest
+
+
+def _parse_level_key(directory: Path, spec: str) -> Tuple[str, int]:
+    try:
+        half, tau = spec.split("/")
+        if half not in ("alpha", "beta"):
+            raise ValueError(half)
+        return half, int(tau)
+    except (ValueError, AttributeError) as exc:
+        raise _corrupt(directory, f"malformed level key {spec!r} in a delta") from exc
+
+
+def load_snapshot(directory: PathLike) -> "SnapshotIndex":
+    """Reopen a snapshot written by :func:`save_snapshot`, replaying deltas.
+
+    Only the manifests and the label table are read eagerly; ``arrays.bin``
+    is mapped once read-only and every segment becomes a zero-copy view into
+    the mapping.  Delta segments appended by
+    ``save_index(..., format="snapshot")`` on a maintained index are replayed
+    in sequence: whole replacement levels stay zero-copy views into their
+    delta's mapping, patched levels are spliced into fresh in-memory arrays,
+    and the recorded graph operations are kept for lazy replay when the
+    materialised graph is first asked for.  Raises
+    :class:`IndexConsistencyError` for a missing or corrupted manifest,
+    truncated data file, absent segments, or a broken delta chain — always
+    naming the path.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    if not HAS_NUMPY:
+        raise InvalidParameterError(
+            f"opening the snapshot at {directory} requires numpy, which is "
+            "not installed"
+        )
+    labels = _read_labels(directory, manifest)
+    segment = _segment_reader(directory, manifest, DATA_NAME)
     graph_arrays = tuple(segment(f"graph/{field}") for field in _GRAPH_FIELDS)
 
-    from repro.index.csr_build import LevelArrays
+    from repro.index.csr_build import LevelArrays, patch_level_arrays
 
     num_upper = len(labels["upper"])
     delta = int(manifest.get("index", {}).get("delta", 0))
@@ -270,8 +536,74 @@ def load_snapshot(directory: PathLike) -> "SnapshotIndex":
                 num_upper=num_upper,
                 **{field: segment(f"{prefix}/{field}") for field in _LEVEL_FIELDS},
             )
+
+    base_id = manifest.get("snapshot_id")
+    pending_ops: List[Tuple] = []
+    removed: set = set()
+    version = 0
+    graph_info: Optional[Dict] = None
+    index_info: Optional[Dict] = None
+    for path in delta_paths(directory):
+        version += 1
+        delta_manifest = _read_delta_manifest(directory, path, base_id, version)
+        read = _segment_reader(directory, delta_manifest, path.with_suffix(".bin").name)
+        for spec in delta_manifest.get("full_levels", ()):
+            half, tau = _parse_level_key(directory, spec)
+            prefix = f"level/{half}/{tau}"
+            levels[(half, tau)] = LevelArrays(
+                num_upper=num_upper,
+                **{field: read(f"{prefix}/{field}") for field in _LEVEL_FIELDS},
+            )
+        for spec in delta_manifest.get("patched_levels", ()):
+            half, tau = _parse_level_key(directory, spec)
+            key = (half, tau)
+            if key not in levels:
+                raise _corrupt(
+                    directory,
+                    f"delta {path.name} patches level {spec} absent from the base",
+                )
+            prefix = f"patch/{half}/{tau}"
+            gids = read(f"{prefix}/gids")
+            levels[key] = patch_level_arrays(
+                levels[key],
+                gids,
+                read(f"{prefix}/counts"),
+                read(f"{prefix}/entry_vertex"),
+                read(f"{prefix}/entry_weight"),
+                read(f"{prefix}/entry_offset"),
+                gids,
+                read(f"{prefix}/offset_values"),
+                allow_in_place=False,
+            )
+        delta = int(delta_manifest.get("index", {}).get("delta", delta))
+        for key in [k for k in levels if k[1] > delta]:
+            del levels[key]
+        ops = read("ops")
+        for op in ops:
+            if op[0] == "insert":
+                removed.discard(Vertex(Side.UPPER, op[1]))
+                removed.discard(Vertex(Side.LOWER, op[2]))
+        removed.update(read("removed"))
+        pending_ops.extend(ops)
+        graph_info = delta_manifest.get("graph", graph_info)
+        index_info = delta_manifest.get("index", index_info)
+
+    if index_info is not None:
+        merged = dict(manifest)
+        merged["index"] = index_info
+        if graph_info is not None:
+            merged["graph"] = {**manifest.get("graph", {}), **graph_info}
+        manifest = merged
     return SnapshotIndex(
-        directory, manifest, labels["upper"], labels["lower"], levels, graph_arrays
+        directory,
+        manifest,
+        labels["upper"],
+        labels["lower"],
+        levels,
+        graph_arrays,
+        pending_ops=pending_ops,
+        removed=removed,
+        version=version,
     )
 
 
@@ -363,6 +695,9 @@ class SnapshotIndex(CommunityIndex):
         lower_labels: List[Hashable],
         levels: Dict[Tuple[str, int], object],
         graph_arrays: Tuple,
+        pending_ops: Optional[List[Tuple]] = None,
+        removed: Optional[set] = None,
+        version: int = 0,
     ) -> None:
         super().__init__(None)  # the graph is thawed lazily on first access
         self._directory = Path(directory)
@@ -371,9 +706,13 @@ class SnapshotIndex(CommunityIndex):
         self._lower_labels = lower_labels
         self._levels = levels
         self._graph_arrays = graph_arrays
+        self._pending_ops = pending_ops or []
+        self._removed = removed or set()
+        self._version = version
         self._delta = int(manifest.get("index", {}).get("delta", 0))
         self._array_path = None
         self._csr = None
+        self._global_handles: Optional[List[Vertex]] = None
 
     # ------------------------------------------------------------------ #
     # provenance / lazy materialisation
@@ -394,23 +733,78 @@ class SnapshotIndex(CommunityIndex):
         return str(self._manifest.get("backend", "csr"))
 
     @property
-    def graph(self) -> BipartiteGraph:
-        """The indexed graph, thawed from the mapped CSR arrays on demand."""
-        if self._graph is None:
-            self._graph = self.csr_graph().thaw()
-        return self._graph
+    def snapshot_id(self) -> str:
+        """The base snapshot's identity (delta segments must match it)."""
+        return str(self._manifest.get("snapshot_id", ""))
 
-    def csr_graph(self):
-        """The snapshotted graph as a :class:`CSRBipartiteGraph` (cached)."""
-        if self._csr is None:
+    @property
+    def version(self) -> int:
+        """How many delta segments were replayed on top of the base."""
+        return self._version
+
+    @property
+    def num_upper(self) -> int:
+        """Upper-layer size of the base id space (dead ids included)."""
+        return len(self._upper_labels)
+
+    def global_handles(self) -> List[Vertex]:
+        """Vertex handles of the base id space in global id order (cached).
+
+        After delta replay some handles may refer to vertices the updates
+        removed; their level offsets are zero and their entry slices empty,
+        so they are unreachable from every query.
+        """
+        if self._global_handles is None:
+            self._global_handles = [
+                Vertex(Side.UPPER, label) for label in self._upper_labels
+            ] + [Vertex(Side.LOWER, label) for label in self._lower_labels]
+        return self._global_handles
+
+    def level_arrays(self) -> Dict[Tuple[str, int], object]:
+        """The per-level flat arrays, keyed ``(half, τ)`` (deltas applied)."""
+        return dict(self._levels)
+
+    @property
+    def graph(self) -> BipartiteGraph:
+        """The indexed graph, thawed from the mapped CSR arrays on demand.
+
+        For a delta-replayed snapshot the recorded maintenance operations
+        are applied on top of the thawed base, reproducing exactly the graph
+        the maintained index held when the delta was written.
+        """
+        if self._graph is None:
             from repro.graph.csr import CSRBipartiteGraph
 
-            self._csr = CSRBipartiteGraph(
+            base = CSRBipartiteGraph(
                 str(self._manifest.get("graph", {}).get("name", "")),
                 self._upper_labels,
                 self._lower_labels,
                 *self._graph_arrays,
             )
+            graph = base.thaw()
+            for op in self._pending_ops:
+                if op[0] == "insert":
+                    graph.add_edge(op[1], op[2], op[3])
+                else:
+                    graph.remove_edge(op[1], op[2])
+                    graph.discard_isolated()
+            self._graph = graph
+        return self._graph
+
+    def csr_graph(self):
+        """The snapshotted graph as a :class:`CSRBipartiteGraph` (cached)."""
+        if self._csr is None:
+            from repro.graph.csr import CSRBipartiteGraph, freeze
+
+            if self._pending_ops:
+                self._csr = freeze(self.graph)
+            else:
+                self._csr = CSRBipartiteGraph(
+                    str(self._manifest.get("graph", {}).get("name", "")),
+                    self._upper_labels,
+                    self._lower_labels,
+                    *self._graph_arrays,
+                )
         return self._csr
 
     def query_path(self):
@@ -432,6 +826,10 @@ class SnapshotIndex(CommunityIndex):
             return ("alpha", alpha), beta
         return ("beta", beta), alpha
 
+    def _contains_vertex(self, vertex: Vertex) -> bool:
+        """Base-id-space membership minus the vertices deltas removed."""
+        return self.query_path().has_vertex(vertex) and vertex not in self._removed
+
     def _route_checked(self, query: Vertex, alpha: int, beta: int):
         """Validate a query and resolve its level key and offset requirement.
 
@@ -441,7 +839,7 @@ class SnapshotIndex(CommunityIndex):
         """
         check_thresholds(alpha, beta)
         path = self.query_path()
-        check_query_membership(path.has_vertex, query)
+        check_query_membership(self._contains_vertex, query)
         if min(alpha, beta) > self._delta:
             raise EmptyCommunityError(query, alpha, beta)
         key, requirement = self._route(alpha, beta)
@@ -525,7 +923,7 @@ class SnapshotIndex(CommunityIndex):
             return []
         key, requirement = self._route(alpha, beta)
         offsets = self._levels[key].offsets
-        handles = self.csr_graph().global_handles()
+        handles = self.global_handles()
         return [handles[gid] for gid in np.flatnonzero(offsets >= requirement).tolist()]
 
     # ------------------------------------------------------------------ #

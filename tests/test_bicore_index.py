@@ -8,6 +8,7 @@ from repro.decomposition.abcore import abcore_vertices
 from repro.decomposition.degeneracy import degeneracy
 from repro.exceptions import EmptyCommunityError
 from repro.graph.bipartite import upper
+from repro.graph.csr import HAS_NUMPY
 from repro.index.bicore_index import BicoreIndex
 from repro.index.queries import online_community_query
 
@@ -62,3 +63,24 @@ class TestQv:
         # α=1, β=4: u1 is adjacent to v1..v4 each of which needs 4 neighbours.
         community = index.community(upper("u1"), 1, 4)
         assert set(community.lower_labels()) == {"v1", "v2", "v3", "v4"}
+
+
+class TestBackendAgreement:
+    def test_csr_tables_identical_to_dict(self, random_graph):
+        if not HAS_NUMPY:
+            pytest.skip("the CSR backend requires numpy")
+        dict_index = BicoreIndex(random_graph, backend="dict")
+        csr_index = BicoreIndex(random_graph, backend="csr")
+        assert csr_index.delta == dict_index.delta
+        # The sorted membership tables must match entry for entry: the CSR
+        # assembly's stable argsort reproduces the dict backend's sort order.
+        assert csr_index._alpha_tables == dict_index._alpha_tables
+        assert csr_index._beta_tables == dict_index._beta_tables
+
+    def test_csr_queries_identical_to_dict(self, random_graph):
+        if not HAS_NUMPY:
+            pytest.skip("the CSR backend requires numpy")
+        dict_index = BicoreIndex(random_graph, backend="dict")
+        csr_index = BicoreIndex(random_graph, backend="csr")
+        for alpha, beta in ((1, 1), (2, 2), (2, 3), (3, 2)):
+            assert csr_index.core_vertices(alpha, beta) == dict_index.core_vertices(alpha, beta)

@@ -171,3 +171,75 @@ class TestSnapshotAndServe:
         code = main(["serve", "--snapshot", str(tmp_path / "nowhere")])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="snapshots require numpy")
+class TestUpdateAndStats:
+    @pytest.fixture
+    def snapshot_dir(self, capsys, tmp_path, edge_file):
+        out_dir = tmp_path / "snap"
+        assert main(["snapshot", "--edges", str(edge_file), "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        return out_dir
+
+    def test_update_appends_a_delta_segment(self, capsys, tmp_path, snapshot_dir):
+        # The paper example graph's labels: updates stay inside the base id
+        # space, so the re-save appends a delta instead of rewriting.
+        ops = tmp_path / "ops.tsv"
+        ops.write_text("remove u1 v1\ninsert u3 v6 2.5\n+ u4 v1 1.5\n", encoding="utf-8")
+        assert main(["update", "--index", str(snapshot_dir), "--ops", str(ops)]) == 0
+        out = capsys.readouterr().out
+        assert "applied    : 3 updates" in out
+        assert "base + 1 delta segment(s)" in out
+        assert (snapshot_dir / "delta-00001.json").is_file()
+        # The updated snapshot answers like a fresh rebuild of the new graph.
+        from repro.graph.bipartite import upper
+        from repro.index.degeneracy_index import DegeneracyIndex
+        from repro.serving.snapshot import load_snapshot
+
+        replayed = load_snapshot(snapshot_dir)
+        graph = paper_example_graph()
+        graph.remove_edge("u1", "v1")
+        graph.discard_isolated()
+        graph.add_edge("u3", "v6", 2.5)
+        graph.add_edge("u4", "v1", 1.5)
+        fresh = DegeneracyIndex(graph)
+        assert replayed.delta == fresh.delta
+        answer = replayed.community(upper("u3"), 2, 2)
+        assert answer.same_structure(fresh.community(upper("u3"), 2, 2))
+
+    def test_update_skips_absent_removals(self, capsys, tmp_path, snapshot_dir):
+        ops = tmp_path / "ops.tsv"
+        ops.write_text("remove nope nothere\ninsert u3 v6 1.0\n", encoding="utf-8")
+        assert main(["update", "--index", str(snapshot_dir), "--ops", str(ops)]) == 0
+        assert "1 removals skipped" in capsys.readouterr().out
+
+    def test_update_rejects_malformed_ops(self, capsys, tmp_path, snapshot_dir):
+        ops = tmp_path / "ops.tsv"
+        ops.write_text("frobnicate u1 v1\n", encoding="utf-8")
+        assert main(["update", "--index", str(snapshot_dir), "--ops", str(ops)]) == 1
+        assert "expected 'insert" in capsys.readouterr().err
+
+    def test_stats_reports_maintenance_counters(self, capsys, tmp_path, snapshot_dir):
+        ops = tmp_path / "ops.tsv"
+        ops.write_text("insert u3 v6 2.0\n", encoding="utf-8")
+        assert main(["update", "--index", str(snapshot_dir), "--ops", str(ops)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--index", str(snapshot_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "levels_patched" in out
+        assert "arrays_patch_hit_rate" in out
+        assert "snapshot_version" in out
+
+    def test_update_pickle_round_trip(self, capsys, tmp_path, edge_file):
+        from repro.graph.io import read_edge_list
+        from repro.index.maintenance import DynamicDegeneracyIndex
+        from repro.index.serialization import load_index, save_index
+
+        index_path = tmp_path / "index.pkl"
+        save_index(DynamicDegeneracyIndex(read_edge_list(edge_file)), index_path)
+        ops = tmp_path / "ops.tsv"
+        ops.write_text("insert u3 v6 2.0\n", encoding="utf-8")
+        assert main(["update", "--index", str(index_path), "--ops", str(ops)]) == 0
+        reloaded = load_index(index_path)
+        assert reloaded.graph.has_edge("u3", "v6")
