@@ -22,6 +22,14 @@ power-law graph the other serving benchmarks use:
   element-wise identical to the sequential run.  The server is warmed with a
   small prelude batch first — the one-time fork + first-page-fault cost is
   what the cold-start half of this benchmark measures.
+* **significant search** — step 2 over the same snapshot: the array-native
+  ``batch_significant_communities`` (threshold-masked peel directly over the
+  wire edge arrays, answers delivered as lazy ``DeferredCommunity`` graphs)
+  against the thaw-and-peel baseline that materialises every community as a
+  dict ``BipartiteGraph`` and runs ``scs_peel`` on it.  Gate:
+  ``REPRO_BENCH_MIN_SIG_SPEEDUP`` (default 3) over
+  ``REPRO_BENCH_SIG_QUERIES`` (default 500) queries.  After timing, every
+  array-native answer is asserted element-wise identical to the baseline.
 
 Run standalone for a human-readable table::
 
@@ -31,8 +39,9 @@ or as a pytest gate (not collected by the tier-1 run)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
 
-Scale knobs: ``REPRO_BENCH_SERVE_EDGES`` (default 100_000) and
-``REPRO_BENCH_SERVE_QUERIES`` (default 400).
+Scale knobs: ``REPRO_BENCH_SERVE_EDGES`` (default 100_000),
+``REPRO_BENCH_SERVE_QUERIES`` (default 400) and ``REPRO_BENCH_SIG_QUERIES``
+(default 500).
 """
 
 from __future__ import annotations
@@ -54,8 +63,10 @@ from repro.index.serialization import load_index, save_index
 NUM_EDGES = int(os.environ.get("REPRO_BENCH_SERVE_EDGES", "100000"))
 NUM_QUERIES = int(os.environ.get("REPRO_BENCH_SERVE_QUERIES", "400"))
 NUM_WORKERS = int(os.environ.get("REPRO_BENCH_SERVE_WORKERS", "4"))
+NUM_SIG_QUERIES = int(os.environ.get("REPRO_BENCH_SIG_QUERIES", "500"))
 MIN_COLD_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_COLD_SPEEDUP", "10.0"))
 MIN_SERVE_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SERVE_SPEEDUP", "2.0"))
+MIN_SIG_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SIG_SPEEDUP", "3.0"))
 
 #: Threshold pairs of the query stream.  Weighted towards the deeper cores:
 #: their answers are the small, numerous communities a serving fleet sees,
@@ -81,13 +92,21 @@ def _usable_cores() -> int:
 
 def benchmark_graph() -> BipartiteGraph:
     if "graph" not in _cache:
-        _cache["graph"] = power_law_bipartite(
+        graph = power_law_bipartite(
             num_upper=max(NUM_EDGES * 3 // 20, 10),
             num_lower=max(NUM_EDGES * 3 // 25, 10),
             num_edges=NUM_EDGES,
             seed=7,
             name="serving",
         )
+        # Seeded non-uniform weights so the significant-search gate exercises
+        # the real peel rounds, not the single-distinct-weight short-circuit.
+        # Weights do not affect (α,β)-community structure, so the cold-start
+        # and throughput halves measure exactly what they measured before.
+        rng = random.Random(3)
+        for u, v, _ in list(graph.edges()):
+            graph.add_edge(u, v, float(rng.randint(1, 32)))
+        _cache["graph"] = graph
     return _cache["graph"]  # type: ignore[return-value]
 
 
@@ -107,11 +126,13 @@ def saved_paths(tmp_root: Path) -> Tuple[Path, Path]:
     return _cache["paths"]  # type: ignore[return-value]
 
 
-def sample_queries(index: DegeneracyIndex) -> List[Tuple[Vertex, int, int]]:
-    """A seeded stream of NUM_QUERIES triples spread over the threshold grid."""
+def sample_queries(
+    index: DegeneracyIndex, count: int = NUM_QUERIES
+) -> List[Tuple[Vertex, int, int]]:
+    """A seeded stream of ``count`` triples spread over the threshold grid."""
     rng = random.Random(11)
     queries: List[Tuple[Vertex, int, int]] = []
-    per_pair = max(-(-NUM_QUERIES // len(QUERY_THRESHOLDS)), 1)
+    per_pair = max(-(-count // len(QUERY_THRESHOLDS)), 1)
     for alpha, beta in QUERY_THRESHOLDS:
         core = index.vertices_in_core(alpha, beta)
         if not core:
@@ -119,7 +140,7 @@ def sample_queries(index: DegeneracyIndex) -> List[Tuple[Vertex, int, int]]:
         for vertex in rng.choices(core, k=per_pair):
             queries.append((vertex, alpha, beta))
     rng.shuffle(queries)
-    return queries[:NUM_QUERIES]
+    return queries[:count]
 
 
 # --------------------------------------------------------------------------- #
@@ -195,7 +216,58 @@ def run_throughput(tmp_root: Path) -> Dict[str, float]:
     }
 
 
-def format_report(cold: Dict[str, float], serve: Dict[str, float]) -> str:
+# --------------------------------------------------------------------------- #
+# significant search (step 2)
+# --------------------------------------------------------------------------- #
+def run_significant(tmp_root: Path) -> Dict[str, float]:
+    from repro.api import CommunitySearcher
+    from repro.search.peel import scs_peel
+    from repro.serving.snapshot import load_snapshot
+
+    _, snapshot_path = saved_paths(tmp_root)
+    queries = sample_queries(benchmark_index(), NUM_SIG_QUERIES)
+    index = load_snapshot(snapshot_path)
+    searcher = CommunitySearcher(index=index)
+
+    # Thaw-and-peel baseline: materialise every community as a dict graph,
+    # then run the dict-backed peel over it.  This is what step 2 cost before
+    # the array-native kernels existed.
+    start = time.perf_counter()
+    thawed = index.batch_community(queries)
+    baseline = [
+        scs_peel(community, query, alpha, beta)
+        for community, (query, alpha, beta) in zip(thawed, queries)
+    ]
+    baseline_seconds = time.perf_counter() - start
+
+    # Array-native path: threshold-masked peel directly over the wire edge
+    # arrays; answers come back as lazy DeferredCommunity graphs.
+    start = time.perf_counter()
+    native = searcher.batch_significant_communities(queries, method="peel")
+    native_seconds = time.perf_counter() - start
+
+    # Materialisation and the identity check happen outside the timed region.
+    if len(native) != len(baseline):
+        raise AssertionError("array-native result count disagrees with baseline")
+    for result, expected in zip(native, baseline):
+        if not result.graph.same_structure(expected):
+            raise AssertionError("array-native answer differs from thaw-and-peel")
+
+    return {
+        "queries": float(len(queries)),
+        "baseline_seconds": baseline_seconds,
+        "native_seconds": native_seconds,
+        "speedup": baseline_seconds / native_seconds,
+        "baseline_qps": len(queries) / baseline_seconds,
+        "native_qps": len(queries) / native_seconds,
+    }
+
+
+def format_report(
+    cold: Dict[str, float],
+    serve: Dict[str, float],
+    significant: Dict[str, float] = None,
+) -> str:
     graph = benchmark_graph()
     lines = [
         f"serving benchmark on {graph.name!r}: "
@@ -214,6 +286,18 @@ def format_report(cold: Dict[str, float], serve: Dict[str, float]) -> str:
             f"{serve['served_seconds']:>10.3f} {serve['served_qps']:>10.1f}",
             f"serving speedup: {serve['speedup']:.2f}x "
             f"({int(serve['queries'])} queries)",
+        ]
+    if significant:
+        lines += [
+            f"{'significant search (peel)':<36} {'total [s]':>10} {'queries/s':>10}",
+            f"{'  thaw-and-peel baseline':<36} "
+            f"{significant['baseline_seconds']:>10.3f} "
+            f"{significant['baseline_qps']:>10.1f}",
+            f"{'  array-native kernels':<36} "
+            f"{significant['native_seconds']:>10.3f} "
+            f"{significant['native_qps']:>10.1f}",
+            f"significant-search speedup: {significant['speedup']:.2f}x "
+            f"({int(significant['queries'])} queries)",
         ]
     return "\n".join(lines)
 
@@ -255,6 +339,16 @@ def test_served_throughput_meets_speedup_target(bench_root):
     )
 
 
+def test_significant_search_meets_speedup_target(bench_root):
+    significant = run_significant(bench_root)
+    print()
+    print(format_report(run_cold_start(bench_root), {}, significant))
+    assert significant["speedup"] >= MIN_SIG_SPEEDUP, (
+        f"array-native significant search {significant['speedup']:.2f}x "
+        f"below the {MIN_SIG_SPEEDUP:.1f}x target"
+    )
+
+
 def main() -> int:
     if not HAS_NUMPY:
         print("numpy is not installed; nothing to compare")
@@ -265,13 +359,19 @@ def main() -> int:
         tmp_root = Path(tmp)
         cold = run_cold_start(tmp_root)
         serve = run_throughput(tmp_root)
-        print(format_report(cold, serve))
+        significant = run_significant(tmp_root)
+        print(format_report(cold, serve, significant))
         failed = False
         if cold["speedup"] < MIN_COLD_SPEEDUP:
             print(f"FAIL: cold start below the {MIN_COLD_SPEEDUP:.1f}x target")
             failed = True
         if serve["speedup"] < MIN_SERVE_SPEEDUP:
             print(f"FAIL: serving throughput below the {MIN_SERVE_SPEEDUP:.1f}x target")
+            failed = True
+        if significant["speedup"] < MIN_SIG_SPEEDUP:
+            print(
+                f"FAIL: significant search below the {MIN_SIG_SPEEDUP:.1f}x target"
+            )
             failed = True
         if _usable_cores() < 2:
             print(
@@ -282,7 +382,8 @@ def main() -> int:
             return 1
         print(
             f"OK: cold start {cold['speedup']:.1f}x, "
-            f"serving {serve['speedup']:.2f}x at {NUM_WORKERS} workers"
+            f"serving {serve['speedup']:.2f}x at {NUM_WORKERS} workers, "
+            f"significant search {significant['speedup']:.2f}x"
         )
         return 0
 

@@ -13,6 +13,17 @@ through the index's array-backed CSR query path: the index is frozen into
 flat per-level arrays once for the whole batch, answers come back in input
 order, and each element is identical to the corresponding sequential call.
 
+Step 2 is array-native whenever that query path exists (numpy installed):
+retrieval yields the community as raw parallel edge arrays and the SCS
+kernels of :mod:`repro.decomposition.csr_kernels` peel those arrays directly,
+so no intermediate graph object — not even a lazy one — is built per query.
+Answers come back as :class:`~repro.serving.wire.DeferredCommunity` graphs
+that materialise their adjacency dicts only if something reads the structure.
+Without numpy every entry point transparently falls back to the dict-backed
+``scs_*`` oracles (element-wise identical answers, see the agreement suite);
+``method="auto"`` resolves through the one shared rule in
+:func:`repro.search.resolve_scs_method` on both paths.
+
 Example
 -------
 >>> from repro import CommunitySearcher, upper
@@ -31,6 +42,7 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Vertex
 from repro.index.base import BatchQuery, apply_batch_policy, check_on_empty
 from repro.index.degeneracy_index import DegeneracyIndex
+from repro.search import resolve_scs_method
 from repro.search.baseline import scs_baseline
 from repro.search.binary import scs_binary
 from repro.search.expand import scs_expand
@@ -120,6 +132,17 @@ class CommunitySearcher:
             )
         if method == "baseline":
             return self._baseline_result(query, alpha, beta, epsilon)
+        index = self._index
+        if getattr(index, "native_array_levels", False):
+            # Array-native step 2: retrieval and extraction both run over the
+            # wire edge arrays, no per-query graph assembly.  Only taken when
+            # the index's level arrays already exist (CSR-built or
+            # snapshot-backed) — a dict-built index would pay a whole-level
+            # conversion for one query, so it keeps the dict algorithms.
+            packed = index.batch_significant_edges(
+                [(query, alpha, beta)], method=method, epsilon=epsilon
+            )
+            return self._wire_result(packed[0], query, alpha, beta)
         community = self.community(query, alpha, beta)
         return self._extract(community, query, alpha, beta, method, epsilon)
 
@@ -174,6 +197,28 @@ class CommunitySearcher:
                 ),
                 on_empty,
             )
+        index = self._index
+        if (
+            hasattr(index, "batch_significant_edges")
+            and index.query_path() is not None
+        ):
+            # Array-native pipeline: retrieval and extraction run over the
+            # wire edge arrays (levels converted lazily at most once for the
+            # whole stream) and no dict graph is built per community.
+            packed = index.batch_significant_edges(
+                queries,
+                method=method,
+                epsilon=epsilon,
+                on_empty="raise" if on_empty == "raise" else "none",
+            )
+            results = []
+            for (query, alpha, beta), item in zip(queries, packed):
+                if item is None:
+                    if on_empty == "none":
+                        results.append(None)
+                    continue
+                results.append(self._wire_result(item, query, alpha, beta))
+            return results
         communities = self._index.batch_community(
             queries, on_empty="raise" if on_empty == "raise" else "none"
         )
@@ -263,6 +308,33 @@ class CommunitySearcher:
             search_space_edges=self.graph.num_edges,
         )
 
+    def _wire_result(
+        self, packed, query: Vertex, alpha: int, beta: int
+    ) -> SearchResult:
+        """Wrap one ``batch_significant_edges`` answer into a ``SearchResult``.
+
+        The graph is a lazy :class:`~repro.serving.wire.DeferredCommunity`
+        over the kept wire arrays — reading its structure later assembles the
+        exact graph the dict algorithms return, but the search pipeline itself
+        never materialises it.
+        """
+        from repro.serving.wire import DeferredCommunity
+
+        edges, resolved, space = packed
+        graph = DeferredCommunity(
+            edges,
+            self._index.query_path().label_arrays(),
+            name=f"R({alpha},{beta})[{query.label!r}]",
+        )
+        return SearchResult(
+            graph=graph,
+            query=query,
+            alpha=alpha,
+            beta=beta,
+            method=resolved,
+            search_space_edges=space,
+        )
+
     def _extract(
         self,
         community: BipartiteGraph,
@@ -273,9 +345,7 @@ class CommunitySearcher:
         epsilon: float,
     ) -> SearchResult:
         """Run the selected extraction algorithm over a retrieved community."""
-        if method == "auto":
-            threshold_ratio = min(alpha, beta) / max(1, self.degeneracy)
-            method = "peel" if threshold_ratio >= 0.5 else "expand"
+        method = resolve_scs_method(method, alpha, beta, self.degeneracy)
         extractor: Dict[str, Callable[..., BipartiteGraph]] = {
             "peel": scs_peel,
             "expand": scs_expand,

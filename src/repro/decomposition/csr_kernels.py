@@ -27,14 +27,18 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import Side
 from repro.graph.csr import CSRBipartiteGraph
+from repro.search.edge_scs import SCS_EDGE_METHODS
+from repro.utils.validation import check_thresholds
 
 __all__ = [
     "csr_abcore_masks",
     "csr_degeneracy",
     "csr_offsets_fixed_primary",
     "csr_region_offsets_fixed_primary",
+    "csr_significant_edges",
 ]
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -342,3 +346,304 @@ def csr_region_offsets_fixed_primary(
         off_l[removed_l] = level
         level = target
     return off_u, off_l
+
+
+# --------------------------------------------------------------------------- #
+# significant search over community edge arrays (step 2 of the query pipeline)
+# --------------------------------------------------------------------------- #
+#
+# Unlike the kernels above, these operate on the *wire form* of one retrieved
+# community — three parallel edge arrays — rather than a frozen whole-graph
+# CSR.  The pure-python twins live in :mod:`repro.search.edge_scs`; both are
+# asserted element-wise identical to the dict-backed ``scs_*`` oracle by the
+# agreement suite.
+
+
+def _edge_core(us, ls, num_u, num_l, alive, alpha: int, beta: int):
+    """Shrink ``alive`` to the (α,β)-core of the kept edges.
+
+    The round cascade of Algorithm 4 run to fixpoint: every iteration kills
+    all edges incident to a below-threshold vertex at once.  Returns the core
+    mask together with the per-vertex degrees at the fixpoint (removed
+    vertices end at degree 0).
+    """
+    du = np.bincount(us[alive], minlength=num_u)
+    dl = np.bincount(ls[alive], minlength=num_l)
+    while True:
+        bad_u = (du > 0) & (du < alpha)
+        bad_l = (dl > 0) & (dl < beta)
+        doomed = alive & (bad_u[us] | bad_l[ls])
+        if not doomed.any():
+            return alive, du, dl
+        alive = alive & ~doomed
+        du = du - np.bincount(us[doomed], minlength=num_u)
+        dl = dl - np.bincount(ls[doomed], minlength=num_l)
+
+
+def _edge_component(us, ls, alive, query_upper: bool, query: int, num_u, num_l):
+    """Edge positions of the query's connected component inside ``alive``."""
+    in_u = np.zeros(num_u, dtype=bool)
+    in_l = np.zeros(num_l, dtype=bool)
+    (in_u if query_upper else in_l)[query] = True
+    while True:
+        reach = alive & (in_u[us] | in_l[ls])
+        known_u, known_l = int(in_u.sum()), int(in_l.sum())
+        in_u[us[reach]] = True
+        in_l[ls[reach]] = True
+        if int(in_u.sum()) == known_u and int(in_l.sum()) == known_l:
+            # At the fixpoint every reached edge has both endpoints inside.
+            return np.flatnonzero(reach)
+
+
+def _peel_mask(us, ls, weight, num_u, num_l, alive, query_upper, query, alpha, beta):
+    """Peel the ``alive`` edge subset; the array twin of ``scs_peel``.
+
+    Returns the kept edge positions (ascending).  Rounds remove every alive
+    edge carrying the current minimum weight, cascade, and on query death
+    restore the round and return the query's component.
+    """
+    live = np.flatnonzero(alive)
+    if np.unique(weight[live]).shape[0] <= 1:
+        # Single distinct weight: the (sub)community itself is the answer.
+        return live
+    alive = alive.copy()
+    order = live[np.argsort(weight[live], kind="stable")]
+    sorted_w = weight[order]
+    du = np.bincount(us[alive], minlength=num_u)
+    dl = np.bincount(ls[alive], minlength=num_l)
+    query_threshold = alpha if query_upper else beta
+    pos, total = 0, int(order.shape[0])
+    while pos < total:
+        # Skip edges already removed by an earlier cascade (the cursor only
+        # moves forward, so this stays amortised O(E) over the whole peel).
+        while pos < total and not alive[order[pos]]:
+            pos += 1
+        if pos >= total:
+            break
+        current_weight = sorted_w[pos]
+        run_end = int(np.searchsorted(sorted_w, current_weight, side="right"))
+        round_edges = order[pos:run_end]
+        round_edges = round_edges[alive[round_edges]]
+        pos = run_end
+        previous = alive.copy()
+        alive[round_edges] = False
+        du -= np.bincount(us[round_edges], minlength=num_u)
+        dl -= np.bincount(ls[round_edges], minlength=num_l)
+        while True:
+            bad_u = (du > 0) & (du < alpha)
+            bad_l = (dl > 0) & (dl < beta)
+            doomed = alive & (bad_u[us] | bad_l[ls])
+            if not doomed.any():
+                break
+            alive &= ~doomed
+            du -= np.bincount(us[doomed], minlength=num_u)
+            dl -= np.bincount(ls[doomed], minlength=num_l)
+        query_degree = int(du[query]) if query_upper else int(dl[query])
+        if query_degree < query_threshold:
+            # The graph as it stood at the start of this round is the last
+            # valid one: return the query's component inside it.
+            return _edge_component(us, ls, previous, query_upper, query, num_u, num_l)
+    # Unreachable for a well-formed input; same safe fall-back as the oracle.
+    return live
+
+
+def _binary_over_edges(us, ls, weight, num_u, num_l, query_upper, query, alpha, beta):
+    """Binary search over the distinct weights; array twin of ``scs_binary``."""
+    distinct = np.unique(weight)
+    low, high = 0, int(distinct.shape[0]) - 1
+    best = None
+    while low <= high:
+        mid = (low + high) // 2
+        alive, du, dl = _edge_core(
+            us, ls, num_u, num_l, weight >= distinct[mid], alpha, beta
+        )
+        survives = (int(du[query]) if query_upper else int(dl[query])) > 0
+        if survives:
+            best = alive
+            low = mid + 1
+        else:
+            high = mid - 1
+    if best is None:
+        raise InvalidParameterError(
+            f"the supplied edges are not a valid ({alpha},{beta})-community "
+            "of the query vertex"
+        )
+    return _edge_component(us, ls, best, query_upper, query, num_u, num_l)
+
+
+def _expand_over_edges(
+    us, ls, weight, num_u, num_l, query_upper, query, alpha, beta, epsilon
+):
+    """Heaviest-first expansion; array twin of ``expand_over_pool``.
+
+    The union-find itself runs as a python loop over the interned ids (its
+    per-edge work is O(α(n)) and resists vectorisation), but each validation —
+    the expensive part the geometric rule amortises — is the vectorised core
+    fixpoint plus masked peel above.
+    """
+    order = np.argsort(-weight, kind="stable")
+    descending = weight[order]
+    order_list = order.tolist()
+    us_list, ls_list = us.tolist(), ls.tolist()
+    total = int(order.shape[0])
+    n = num_u + num_l
+    query_vertex = query if query_upper else num_u + query
+    query_threshold = alpha if query_upper else beta
+
+    parent = list(range(n))
+    size = [1] * n
+    degree = [0] * n
+    comp_edges = [0] * n
+    comp_upper = [1 if v < num_u else 0 for v in range(n)]
+    comp_lower = [0 if v < num_u else 1 for v in range(n)]
+    comp_usat = [0] * n
+    comp_lsat = [0] * n
+
+    def find(v):
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return root
+
+    def add_edge(e):
+        a, b = us_list[e], num_u + ls_list[e]
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            comp_edges[ra] += 1
+        else:
+            if size[ra] < size[rb]:
+                ra, rb = rb, ra
+            parent[rb] = ra
+            size[ra] += size[rb]
+            comp_edges[ra] += comp_edges[rb] + 1
+            comp_upper[ra] += comp_upper[rb]
+            comp_lower[ra] += comp_lower[rb]
+            comp_usat[ra] += comp_usat[rb]
+            comp_lsat[ra] += comp_lsat[rb]
+        for v in (a, b):
+            degree[v] += 1
+            threshold = alpha if v < num_u else beta
+            if degree[v] == threshold:
+                root = find(v)
+                if v < num_u:
+                    comp_usat[root] += 1
+                else:
+                    comp_lsat[root] += 1
+
+    def validate(inserted):
+        root = find(query_vertex)
+        candidate = np.zeros(total, dtype=bool)
+        members = [e for e in order_list[:inserted] if find(us_list[e]) == root]
+        candidate[members] = True
+        core, du, dl = _edge_core(us, ls, num_u, num_l, candidate, alpha, beta)
+        if (int(du[query]) if query_upper else int(dl[query])) == 0:
+            return None
+        component = _edge_component(us, ls, core, query_upper, query, num_u, num_l)
+        mask = np.zeros(total, dtype=bool)
+        mask[component] = True
+        return _peel_mask(
+            us, ls, weight, num_u, num_l, mask, query_upper, query, alpha, beta
+        )
+
+    previous_checked_size = 0
+    pos = 0
+    while pos < total:
+        batch_weight = descending[pos]
+        before = comp_edges[find(query_vertex)] if degree[query_vertex] else -1
+        run_end = pos + int(
+            np.searchsorted(-descending[pos:], -batch_weight, side="right")
+        )
+        while pos < run_end:
+            add_edge(order_list[pos])
+            pos += 1
+        if not degree[query_vertex]:
+            continue
+        root = find(query_vertex)
+        component_edges = comp_edges[root]
+        if component_edges == before:
+            continue  # C* unchanged in this round.
+        # Lemma 7 / saturation / query-degree pruning, as in the dict twin.
+        if alpha * beta - alpha - beta > (
+            component_edges - comp_upper[root] - comp_lower[root]
+        ):
+            continue
+        if comp_usat[root] < beta or comp_lsat[root] < alpha:
+            continue
+        if degree[query_vertex] < query_threshold:
+            continue
+        if previous_checked_size and component_edges < previous_checked_size * epsilon:
+            continue
+        previous_checked_size = component_edges
+        answer = validate(pos)
+        if answer is not None:
+            return answer
+    if degree[query_vertex]:
+        answer = validate(total)
+        if answer is not None:
+            return answer
+    raise InvalidParameterError(
+        f"the supplied edges contain no ({alpha},{beta})-community "
+        "of the query vertex"
+    )
+
+
+def csr_significant_edges(
+    src,
+    dst,
+    weight,
+    query_in_upper: bool,
+    query_id: int,
+    alpha: int,
+    beta: int,
+    method: str = "peel",
+    epsilon: float = 2.0,
+) -> np.ndarray:
+    """Extract ``R(α,β)[q]`` from community edge arrays; return edge positions.
+
+    The vectorised counterpart of
+    :func:`repro.search.edge_scs.significant_edge_indices`: ``src`` / ``dst``
+    / ``weight`` are the parallel edge arrays of one retrieved
+    (α,β)-community (endpoint ids live in two independent spaces, as on the
+    wire), ``query_id`` names the query vertex in the space selected by
+    ``query_in_upper``.  Returns the ascending ``np.int64`` positions whose
+    edges form the significant community.
+    """
+    check_thresholds(alpha, beta)
+    if method not in SCS_EDGE_METHODS:
+        raise InvalidParameterError(
+            f"unknown edge-search method {method!r}; expected one of {SCS_EDGE_METHODS}"
+        )
+    if method == "expand" and epsilon <= 1.0:
+        raise InvalidParameterError("epsilon must be larger than 1")
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    weight = np.asarray(weight, dtype=np.float64)
+
+    upper_ids, us = np.unique(src, return_inverse=True)
+    lower_ids, ls = np.unique(dst, return_inverse=True)
+    num_u, num_l = int(upper_ids.shape[0]), int(lower_ids.shape[0])
+    pool = upper_ids if query_in_upper else lower_ids
+    slot = int(np.searchsorted(pool, query_id))
+    if slot >= pool.shape[0] or int(pool[slot]) != query_id:
+        raise InvalidParameterError(
+            f"query vertex {query_id!r} is not in the supplied community edges"
+        )
+    query = slot
+    if np.unique(weight).shape[0] <= 1:
+        # Single distinct weight: the community itself is the answer (the
+        # same short-circuit every dict algorithm takes).
+        return np.arange(src.shape[0], dtype=np.int64)
+    if method == "peel":
+        return _peel_mask(
+            us, ls, weight, num_u, num_l, np.ones(src.shape[0], dtype=bool),
+            query_in_upper, query, alpha, beta,
+        )
+    if method == "binary":
+        return _binary_over_edges(
+            us, ls, weight, num_u, num_l, query_in_upper, query, alpha, beta
+        )
+    return _expand_over_edges(
+        us, ls, weight, num_u, num_l, query_in_upper, query, alpha, beta, epsilon
+    )

@@ -200,6 +200,17 @@ class DegeneracyIndex(CommunityIndex):
         """The resolved construction backend (``"dict"`` or ``"csr"``)."""
         return self._backend
 
+    @property
+    def native_array_levels(self) -> bool:
+        """True when the flat level arrays already exist (CSR construction).
+
+        Per-query entry points use this to decide whether the array-native
+        step 2 is free to reach for: a dict-built index would pay a
+        whole-level conversion for a single query, so only batch streams
+        (which amortise the conversion) route it through the array path.
+        """
+        return self._array_path is not None
+
     def _route(self, alpha: int, beta: int) -> Tuple[Dict[Vertex, int], AdjacencyLists, int]:
         """Choose the index half, level and offset requirement for a query."""
         if alpha <= beta:
@@ -242,18 +253,7 @@ class DegeneracyIndex(CommunityIndex):
         cache: Optional[Dict] = None,
     ) -> BipartiteGraph:
         """``Qopt`` over the flat level arrays; same answers as dict lists."""
-        check_thresholds(alpha, beta)
-        check_query_vertex(self._graph, query)
-        if min(alpha, beta) > self._delta:
-            raise EmptyCommunityError(query, alpha, beta)
-        if alpha <= beta:
-            key, requirement = ("alpha", alpha), beta
-            path.ensure_level(key, self._alpha_offsets[alpha], self._alpha_lists[alpha])
-        else:
-            key, requirement = ("beta", beta), alpha
-            path.ensure_level(key, self._beta_offsets[beta], self._beta_lists[beta])
-        if path.offset_of(key, query) < requirement:
-            raise EmptyCommunityError(query, alpha, beta)
+        key, requirement = self._route_array(path, query, alpha, beta)
         return path.community(
             key,
             query,
@@ -288,6 +288,79 @@ class DegeneracyIndex(CommunityIndex):
             ),
             on_empty,
         )
+
+    def _route_array(
+        self, path: ArrayQueryPath, query: Vertex, alpha: int, beta: int
+    ):
+        """Validate an array-path query and resolve its level key/requirement.
+
+        Shares the exact raise behaviour of :meth:`community`; converts the
+        touched level from its dict lists on first use.
+        """
+        check_thresholds(alpha, beta)
+        check_query_vertex(self._graph, query)
+        if min(alpha, beta) > self._delta:
+            raise EmptyCommunityError(query, alpha, beta)
+        if alpha <= beta:
+            key, requirement = ("alpha", alpha), beta
+            path.ensure_level(key, self._alpha_offsets[alpha], self._alpha_lists[alpha])
+        else:
+            key, requirement = ("beta", beta), alpha
+            path.ensure_level(key, self._beta_offsets[beta], self._beta_lists[beta])
+        if path.offset_of(key, query) < requirement:
+            raise EmptyCommunityError(query, alpha, beta)
+        return key, requirement
+
+    def batch_significant_edges(
+        self,
+        queries: Iterable[BatchQuery],
+        method: str = "auto",
+        epsilon: float = 2.0,
+        on_empty: str = "raise",
+        cache: Optional[Dict] = None,
+    ) -> List:
+        """Array-native step 1 + step 2 for a query stream, in wire form.
+
+        Each answer is a ``(edge triple, resolved method, search-space edge
+        count)`` tuple: the significant community as raw ``(src upper ids,
+        dst lower ids, weights)`` arrays straight from the SCS kernels — no
+        graph object is built anywhere in the pipeline.  ``method`` accepts
+        ``"peel"`` / ``"expand"`` / ``"binary"`` / ``"auto"`` (``"baseline"``
+        is inherently graph-based and stays with the dict path).  Requires
+        numpy; callers check :meth:`query_path` first.
+        """
+        from repro.search import resolve_scs_method
+
+        if method not in ("peel", "expand", "binary", "auto"):
+            raise InvalidParameterError(
+                f"unknown method {method!r}; expected one of "
+                "('peel', 'expand', 'binary', 'auto')"
+            )
+        path = self.query_path()
+        if path is None:
+            raise InvalidParameterError(
+                "array-native significant search requires numpy, "
+                "which is not installed"
+            )
+        if cache is None:
+            cache = {}
+
+        def answer_one(query: Vertex, alpha: int, beta: int):
+            key, requirement = self._route_array(path, query, alpha, beta)
+            resolved = resolve_scs_method(method, alpha, beta, self._delta)
+            edges, space = path.significant_edges(
+                key,
+                query,
+                requirement,
+                alpha,
+                beta,
+                method=resolved,
+                epsilon=epsilon,
+                cache=cache,
+            )
+            return edges, resolved, space
+
+        return apply_batch_policy(queries, answer_one, on_empty)
 
     def export_level_arrays(self):
         """All flat level arrays of both halves, keyed ``("alpha"|"beta", τ)``.

@@ -407,3 +407,60 @@ class ArrayQueryPath:
             for member in members.tolist():
                 bucket[member] = edges
         return edges
+
+    def label_arrays(self) -> Tuple:
+        """The ``(upper, lower)`` label intern arrays of this id space.
+
+        The pair :class:`~repro.serving.wire.DeferredCommunity` needs to
+        assemble wire edges back into labelled graphs.
+        """
+        return self._upper_label_arr, self._lower_label_arr
+
+    def significant_edges(
+        self,
+        key: Hashable,
+        query: Vertex,
+        requirement: int,
+        alpha: int,
+        beta: int,
+        method: str = "peel",
+        epsilon: float = 2.0,
+        cache: Optional[Dict] = None,
+    ) -> Tuple[Tuple, int]:
+        """Array-native step 2: ``R(α,β)[q]`` straight from the wire arrays.
+
+        Retrieves the community in wire form (sharing :meth:`community_edges`'
+        per-batch component memoisation) and runs the selected SCS kernel over
+        the raw arrays — no graph object is ever assembled.  Returns the kept
+        ``(src upper ids, dst lower ids, weights)`` triple together with the
+        search-space edge count.  A masked subset of the BFS output keeps each
+        upper vertex's edges contiguous, so the triple assembles exactly like
+        a fresh retrieval.
+        """
+        from repro.decomposition.csr_kernels import csr_significant_edges
+
+        src, dst, weight = self.community_edges(key, query, requirement, cache=cache)
+        gid = self._global_ids[query]
+        query_upper = query.side is Side.UPPER
+        query_id = gid if query_upper else gid - self.num_upper
+        kept = csr_significant_edges(
+            src,
+            dst,
+            weight,
+            query_upper,
+            query_id,
+            alpha,
+            beta,
+            method=method,
+            epsilon=epsilon,
+        )
+        return (src[kept], dst[kept], weight[kept]), int(src.shape[0])
+
+    def assemble_community(self, edges: Tuple, name: str = "") -> BipartiteGraph:
+        """Materialise a wire edge triple against this path's intern table."""
+        src, dst, weight = edges
+        if src.shape[0] == 0:
+            return BipartiteGraph(name=name)
+        return _graph_from_edge_arrays(
+            src, dst, weight, self._upper_label_arr, self._lower_label_arr, name
+        )

@@ -11,6 +11,22 @@ extract the significant (α,β)-community ``R``:
 * :func:`~repro.search.binary.scs_binary` — binary search over edge weights.
 * :func:`~repro.search.baseline.scs_baseline` — index-free expansion over the
   whole connected component (the paper's ``SCS-Baseline``).
+
+The dict-backed functions above are the *oracles*: each also has an
+array-native twin operating directly on the parallel edge arrays a frozen
+index retrieves, without materialising a graph object —
+:func:`repro.search.edge_scs.significant_edge_indices` (pure python, used on
+the no-numpy matrix) and
+:func:`repro.decomposition.csr_kernels.csr_significant_edges` (vectorised).
+The agreement suite asserts all three produce element-wise identical answers;
+:meth:`repro.api.CommunitySearcher.significant_community` and the batch /
+serving entry points route through the array twins whenever an array query
+path is available.
+
+``method="auto"`` resolves with :func:`resolve_scs_method`: peeling when the
+thresholds are large relative to the graph's degeneracy δ (small search
+space), expansion otherwise — every entry point (sequential, batch, serving
+worker) shares this one rule so resolved methods never diverge between paths.
 """
 
 from repro.search.baseline import scs_baseline
@@ -19,4 +35,24 @@ from repro.search.expand import scs_expand
 from repro.search.peel import scs_peel
 from repro.search.result import SearchResult
 
-__all__ = ["SearchResult", "scs_peel", "scs_expand", "scs_binary", "scs_baseline"]
+__all__ = [
+    "SearchResult",
+    "resolve_scs_method",
+    "scs_peel",
+    "scs_expand",
+    "scs_binary",
+    "scs_baseline",
+]
+
+
+def resolve_scs_method(method: str, alpha: int, beta: int, delta: int) -> str:
+    """Resolve ``"auto"`` to a concrete step-2 algorithm (paper Section VI).
+
+    Expansion wins when the thresholds are small relative to the degeneracy δ
+    (large search space, small answer); peeling wins for large thresholds.
+    Concrete method names pass through unchanged.
+    """
+    if method != "auto":
+        return method
+    threshold_ratio = min(alpha, beta) / max(1, delta)
+    return "peel" if threshold_ratio >= 0.5 else "expand"

@@ -17,6 +17,7 @@ from repro.decomposition.abcore import peel_to_core
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.views import connected_component, induced_subgraph, weight_threshold_subgraph
+from repro.search.peel import uniform_weight_answer
 from repro.utils.validation import check_thresholds
 
 __all__ = ["scs_binary"]
@@ -48,7 +49,7 @@ def scs_binary(
     check_thresholds(alpha, beta)
     weights: List[float] = sorted(set(community.edge_weights()))
     if len(weights) <= 1:
-        return community.copy()
+        return uniform_weight_answer(community, query, alpha, beta)
 
     # Invariant: feasible at ``low`` (the whole community survives at the
     # minimum weight), unknown above.  Find the largest feasible threshold.

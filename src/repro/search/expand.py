@@ -19,7 +19,7 @@ from repro.decomposition.abcore import peel_to_core
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.views import connected_component, induced_subgraph
-from repro.search.peel import scs_peel
+from repro.search.peel import scs_peel, uniform_weight_answer
 from repro.utils.unionfind import ComponentTracker
 from repro.utils.validation import check_thresholds
 
@@ -145,7 +145,10 @@ def scs_expand(
     epsilon: float = DEFAULT_EPSILON,
 ) -> BipartiteGraph:
     """Extract the significant (α,β)-community by expansion (Algorithm 5)."""
+    check_thresholds(alpha, beta)
+    if epsilon <= 1.0:
+        raise InvalidParameterError("epsilon must be larger than 1")
     weights = set(community.edge_weights())
     if len(weights) <= 1:
-        return community.copy()
+        return uniform_weight_answer(community, query, alpha, beta)
     return expand_over_pool(community, query, alpha, beta, epsilon=epsilon)

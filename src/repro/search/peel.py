@@ -16,13 +16,27 @@ from typing import Deque, List, Tuple
 
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.views import connected_component
-from repro.utils.validation import check_thresholds
+from repro.utils.validation import check_query_vertex, check_thresholds
 
 __all__ = ["scs_peel"]
 
 
 def _threshold(vertex: Vertex, alpha: int, beta: int) -> int:
     return alpha if vertex.side is Side.UPPER else beta
+
+
+def uniform_weight_answer(
+    community: BipartiteGraph, query: Vertex, alpha: int, beta: int
+) -> BipartiteGraph:
+    """The shared single-distinct-weight exit of every SCS algorithm.
+
+    With at most one distinct edge weight the community itself is the answer,
+    but the exit must behave exactly like the general paths: the query vertex
+    is validated against the community and the result carries the canonical
+    ``R(α,β)[q]`` name.
+    """
+    check_query_vertex(community, query)
+    return community.copy(name=f"R({alpha},{beta})[{query.label!r}]")
 
 
 def scs_peel(
@@ -42,7 +56,7 @@ def scs_peel(
     # community itself is the answer.
     weights = set(community.edge_weights())
     if len(weights) <= 1:
-        return community.copy()
+        return uniform_weight_answer(community, query, alpha, beta)
 
     work = community.copy()
     ordered: List[Tuple[object, object, float]] = sorted(work.edges(), key=lambda e: e[2])

@@ -294,16 +294,42 @@ class CommunityServer:
     ) -> List[Optional[SearchResult]]:
         """Sharded two-step search: retrieval plus per-query extraction.
 
-        Step 2 (peel / expand / binary) runs inside the workers too, so the
-        whole significant-community pipeline parallelises; answers match
-        :meth:`CommunitySearcher.batch_significant_communities` element-wise.
+        Step 2 (peel / expand / binary) runs inside the workers too — over
+        the raw wire edge arrays, so a worker never materialises a dict graph
+        per community and answers cross the process boundary as flat buffer
+        copies.  The driver wraps each answer's arrays in a lazy
+        :class:`~repro.serving.wire.DeferredCommunity`; results match
+        :meth:`CommunitySearcher.batch_significant_communities` element-wise
+        (``"baseline"`` answers, which are inherently graph-based, arrive
+        materialised as before).
         """
         check_on_empty(on_empty)
         queries = list(queries)
         answers = self._scatter_gather(
             "significant", queries, {"method": method, "epsilon": epsilon}
         )
-        return self._apply_policy(queries, answers, on_empty)
+        results: List[Optional[SearchResult]] = []
+        for (query, alpha, beta), item in zip(queries, answers):
+            if item is None or isinstance(item, SearchResult):
+                results.append(item)
+                continue
+            edges, resolved, space = item
+            graph = DeferredCommunity(
+                edges,
+                self._label_arrays(),
+                name=f"R({alpha},{beta})[{query.label!r}]",
+            )
+            results.append(
+                SearchResult(
+                    graph=graph,
+                    query=query,
+                    alpha=alpha,
+                    beta=beta,
+                    method=resolved,
+                    search_space_edges=space,
+                )
+            )
+        return self._apply_policy(queries, results, on_empty)
 
     # ------------------------------------------------------------------ #
     # internals

@@ -733,6 +733,11 @@ class SnapshotIndex(CommunityIndex):
         return str(self._manifest.get("backend", "csr"))
 
     @property
+    def native_array_levels(self) -> bool:
+        """Always True: snapshot levels live as mapped arrays by definition."""
+        return True
+
+    @property
     def snapshot_id(self) -> str:
         """The base snapshot's identity (delta segments must match it)."""
         return str(self._manifest.get("snapshot_id", ""))
@@ -907,6 +912,52 @@ class SnapshotIndex(CommunityIndex):
             ),
             on_empty,
         )
+
+    def batch_significant_edges(
+        self,
+        queries,
+        method: str = "auto",
+        epsilon: float = 2.0,
+        on_empty: str = "raise",
+        cache: Optional[Dict] = None,
+    ) -> List:
+        """Array-native significant search over the mapped level arrays.
+
+        The snapshot twin of
+        :meth:`DegeneracyIndex.batch_significant_edges`: each answer is a
+        ``(edge triple, resolved method, search-space edge count)`` tuple, the
+        community retrieved and peeled entirely over flat arrays.  This is
+        what serving workers run for ``"significant"`` shards — the wire
+        triples pickle as flat buffers and the driver wraps them into lazy
+        :class:`~repro.serving.wire.DeferredCommunity` results, so no dict
+        graph is materialised per community anywhere in the pipeline.
+        """
+        from repro.search import resolve_scs_method
+
+        if method not in ("peel", "expand", "binary", "auto"):
+            raise InvalidParameterError(
+                f"unknown method {method!r}; expected one of "
+                "('peel', 'expand', 'binary', 'auto')"
+            )
+        if cache is None:
+            cache = {}
+
+        def answer_one(query: Vertex, alpha: int, beta: int):
+            path, key, requirement = self._route_checked(query, alpha, beta)
+            resolved = resolve_scs_method(method, alpha, beta, self._delta)
+            edges, space = path.significant_edges(
+                key,
+                query,
+                requirement,
+                alpha,
+                beta,
+                method=resolved,
+                epsilon=epsilon,
+                cache=cache,
+            )
+            return edges, resolved, space
+
+        return apply_batch_policy(queries, answer_one, on_empty)
 
     def contains(self, vertex: Vertex, alpha: int, beta: int) -> bool:
         """True when ``vertex`` belongs to the (α,β)-core."""

@@ -75,12 +75,25 @@ def worker_main(snapshot_dir: str, tasks, results) -> None:
                     triples, on_empty="none", cache=cache
                 )
             elif kind == "significant":
-                answers = searcher.batch_significant_communities(
-                    triples,
-                    method=options.get("method", "auto"),
-                    epsilon=options.get("epsilon", 2.0),
-                    on_empty="none",
-                )
+                method = options.get("method", "auto")
+                epsilon = options.get("epsilon", 2.0)
+                if method == "baseline":
+                    # Baseline is index-free and graph-based; its (small)
+                    # extracted graphs ship materialised, as before.
+                    answers = searcher.batch_significant_communities(
+                        triples, method=method, epsilon=epsilon, on_empty="none"
+                    )
+                else:
+                    # Array-native step 2 over the mapped levels: answers are
+                    # (wire triple, resolved method, search-space size) tuples
+                    # sharing the community cache with "community" shards.
+                    answers = index.batch_significant_edges(
+                        triples,
+                        method=method,
+                        epsilon=epsilon,
+                        on_empty="none",
+                        cache=cache,
+                    )
             else:
                 raise ValueError(f"unknown task kind {kind!r}")
             results.put(("result", batch_id, shard_id, answers))

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex, upper
+from repro.graph.csr import HAS_NUMPY
 from repro.graph.generators import complete_bipartite, random_bipartite
 from repro.graph.rwr import rwr_edge_weights, rwr_scores
 
@@ -62,3 +65,65 @@ class TestRwrEdgeWeights:
         graph = BipartiteGraph.from_edges([("u", "v")])
         weights = rwr_edge_weights(graph, weight_range=(2.0, 4.0))
         assert weights[("u", "v")] == pytest.approx(3.0)
+
+
+def shuffled_load(edges, seed):
+    """The same edge set inserted in a seed-dependent order."""
+    shuffled = list(edges)
+    random.Random(seed).shuffle(shuffled)
+    graph = BipartiteGraph()
+    for u, v, w in shuffled:
+        graph.add_edge(u, v, w)
+    return graph
+
+
+class TestRwrDeterminism:
+    """Regression: derived weights must not depend on edge insertion order.
+
+    Hub selection used to break degree ties by dict insertion order, so two
+    loads of the same graph could pick different restart hubs and derive
+    different weight maps.  The tie now breaks on the label.
+    """
+
+    def tied_hub_edges(self):
+        # u0 and u9 both have the maximal degree (4) — a genuine tie.
+        edges = [(f"u0", f"v{j}", 1.0) for j in range(4)]
+        edges += [(f"u9", f"v{j}", 1.0) for j in range(2, 6)]
+        edges += [("u5", "v0", 1.0), ("u5", "v5", 1.0)]
+        return edges
+
+    def test_shuffled_loads_identical_weight_maps_dict(self):
+        edges = self.tied_hub_edges()
+        first = rwr_edge_weights(shuffled_load(edges, 1), backend="dict")
+        second = rwr_edge_weights(shuffled_load(edges, 2), backend="dict")
+        assert first == second  # bit-identical, not just approximately equal
+
+    def test_shuffled_loads_identical_on_random_graph(self):
+        base = random_bipartite(12, 10, 48, seed=7)
+        edges = list(base.edges())
+        first = rwr_edge_weights(shuffled_load(edges, 3), backend="dict")
+        second = rwr_edge_weights(shuffled_load(edges, 4), backend="dict")
+        assert first == second
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="CSR backend needs numpy")
+    def test_csr_backend_stable_and_close_to_dict(self):
+        edges = self.tied_hub_edges()
+        first = rwr_edge_weights(shuffled_load(edges, 5), backend="csr")
+        second = rwr_edge_weights(shuffled_load(edges, 6), backend="csr")
+        assert set(first) == set(second)
+        for key in first:
+            assert first[key] == pytest.approx(second[key], abs=1e-9)
+        exact = rwr_edge_weights(shuffled_load(edges, 5), backend="dict")
+        assert set(first) == set(exact)
+        for key in first:
+            assert first[key] == pytest.approx(exact[key], abs=1e-6)
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="CSR backend needs numpy")
+    def test_scores_agree_across_backends(self):
+        graph = random_bipartite(10, 9, 36, seed=9)
+        seed_vertex = upper("u0")
+        dict_scores = rwr_scores(graph, seed_vertex, backend="dict")
+        csr_scores = rwr_scores(graph, seed_vertex, backend="csr")
+        assert set(dict_scores) == set(csr_scores)
+        for vertex in dict_scores:
+            assert csr_scores[vertex] == pytest.approx(dict_scores[vertex], abs=1e-8)
