@@ -58,7 +58,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.index.degeneracy_index import DegeneracyIndex
+    from repro.index.maintenance import DynamicDegeneracyIndex
 
 from repro.api import CommunitySearcher
 from repro.datasets.registry import load_dataset
@@ -288,7 +292,7 @@ def _parse_ops_file(path: str) -> List[Tuple[str, str, str, float]]:
     return ops
 
 
-def _open_maintainable_index(path: str):
+def _open_maintainable_index(path: str) -> "DynamicDegeneracyIndex":
     """Load a saved index and wrap it in the incremental maintenance engine."""
     from repro.index.degeneracy_index import DegeneracyIndex
     from repro.index.maintenance import DynamicDegeneracyIndex
@@ -315,7 +319,7 @@ def _open_maintainable_index(path: str):
     )
 
 
-def _print_stats(index) -> None:
+def _print_stats(index: "Union[DegeneracyIndex, DynamicDegeneracyIndex]") -> None:
     stats = index.stats()
     print(f"index      : {stats.name}")
     print(f"entries    : {stats.entries}")

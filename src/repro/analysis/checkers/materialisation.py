@@ -1,0 +1,135 @@
+"""MAT — the zero-materialisation contract of the array/snapshot query path.
+
+A materialisation-counter test asserts at runtime that the array-native
+pipeline never assembles a dict graph; this checker makes the same property
+*static*: walking the call graph from the declared entry points
+(``ArrayQueryPath`` retrievals, ``SnapshotIndex`` batch verbs, the serving
+worker's shard loop) must never reach a dict-graph constructor, an assembly
+helper, or a ``.thaw()``.
+
+* ``MAT001`` — a dict-graph constructor (``BipartiteGraph``) is reachable.
+* ``MAT002`` — a materialising attribute call (``.thaw()``,
+  ``.assemble_community()``, ``.materialise()``) is reachable.
+* ``MAT003`` — an assembly helper (``_graph_from_edge_arrays``,
+  ``bfs_over_lists``) is reachable.
+
+Each finding reports the full static call chain from the entry point, so
+the offending edge is obvious.  Pruned functions (see
+``contracts.MATERIALISATION_PRUNED``) are reached but not traversed; every
+prune carries its justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo
+from repro.analysis.core import AnalysisConfig, Checker, Finding, Project, register_checker
+
+_CONSTRUCTOR_RULE = "MAT001"
+_ATTR_RULE = "MAT002"
+_HELPER_RULE = "MAT003"
+
+
+@register_checker
+class MaterialisationChecker(Checker):
+    name = "materialisation"
+    rules = {
+        "MAT001": (
+            "dict-graph constructor statically reachable from a "
+            "zero-materialisation entry point"
+        ),
+        "MAT002": (
+            "materialising attribute call (.thaw()/.assemble_community()/"
+            ".materialise()) statically reachable from a zero-"
+            "materialisation entry point"
+        ),
+        "MAT003": (
+            "graph assembly helper statically reachable from a zero-"
+            "materialisation entry point"
+        ),
+    }
+
+    def check(self, project: Project, config: AnalysisConfig) -> List[Finding]:
+        if not config.materialisation_entry_points:
+            return []
+        graph = CallGraph(project, dispatch_names=config.materialisation_dispatch)
+        missing = [
+            entry
+            for entry in config.materialisation_entry_points
+            if entry not in graph.functions
+        ]
+        findings: List[Finding] = [
+            Finding(
+                path=entry.split(":", 1)[0],
+                line=1,
+                col=0,
+                rule=_CONSTRUCTOR_RULE,
+                message=(
+                    f"declared zero-materialisation entry point {entry!r} "
+                    "does not exist; update the contracts"
+                ),
+            )
+            for entry in missing
+        ]
+        chains = graph.reachable(
+            [e for e in config.materialisation_entry_points if e not in missing],
+            pruned=config.materialisation_pruned,
+        )
+        banned_calls = set(config.materialisation_banned_calls)
+        banned_attrs = set(config.materialisation_banned_attrs)
+        for qualname, chain in sorted(chains.items()):
+            if qualname in config.materialisation_pruned:
+                continue
+            info = graph.functions[qualname]
+            for call in graph.calls_in(info):
+                hit = self._banned_hit(graph, info, call, banned_calls, banned_attrs)
+                if hit is None:
+                    continue
+                rule, name = hit
+                findings.append(
+                    self.finding(
+                        info.module,
+                        call,
+                        rule,
+                        f"{name!r} is statically reachable from the zero-"
+                        "materialisation entry point via "
+                        + " -> ".join(chain),
+                    )
+                )
+        return findings
+
+    def _banned_hit(
+        self,
+        graph: CallGraph,
+        info: FunctionInfo,
+        call: ast.Call,
+        banned_calls: set,
+        banned_attrs: set,
+    ) -> Optional[Tuple[str, str]]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            # Resolve import aliases so ``from g import BipartiteGraph as BG``
+            # cannot dodge the rule.
+            name = func.id
+            bound = graph._import_bindings(info).get(name)
+            if bound is not None and bound[1] is not None:
+                name = bound[1]
+            if name in banned_calls:
+                return (
+                    _HELPER_RULE if name.startswith("_") or name.islower() else _CONSTRUCTOR_RULE,
+                    name,
+                )
+        elif isinstance(func, ast.Attribute):
+            if func.attr in banned_attrs:
+                return (_ATTR_RULE, func.attr)
+            if func.attr in banned_calls:
+                # ``module.BipartiteGraph(...)`` / ``traversal._graph_from...``
+                return (
+                    _HELPER_RULE
+                    if func.attr.startswith("_") or func.attr.islower()
+                    else _CONSTRUCTOR_RULE,
+                    func.attr,
+                )
+        return None

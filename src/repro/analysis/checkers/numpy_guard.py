@@ -1,0 +1,102 @@
+"""NPG — the numpy-guard contract.
+
+The no-numpy fallback matrix (a tier-1 CI job) imports the whole library
+with numpy uninstalled.  That only works while three properties hold:
+
+* ``NPG001`` — numpy is imported unguarded at top level only inside the
+  declared kernel modules; everywhere else the import must sit under the
+  ``graph.csr`` guard (``if HAS_NUMPY:``) or ``try/except ImportError``.
+* ``NPG002`` — no module reachable from the fallback entry points over
+  top-level unguarded imports may import a kernel module at top level
+  (kernel modules are reached lazily, from inside already-guarded code).
+* ``NPG003`` — no function-local ``import numpy``: a lazy numpy import
+  defers the failure to call time and bypasses the single ``HAS_NUMPY``
+  decision point; use the guarded module-level pattern instead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.core import AnalysisConfig, Checker, Finding, Project, register_checker
+from repro.analysis.imports import (
+    import_graph,
+    module_imports,
+    normalise_target,
+    reachable_from,
+)
+
+
+def _is_numpy(target: str) -> bool:
+    return target == "numpy" or target.startswith("numpy.")
+
+
+@register_checker
+class NumpyGuardChecker(Checker):
+    name = "numpy-guard"
+    rules = {
+        "NPG001": (
+            "unguarded top-level numpy import outside the kernel-module "
+            "allowlist"
+        ),
+        "NPG002": (
+            "module on the no-numpy fallback path imports a kernel module "
+            "at top level"
+        ),
+        "NPG003": (
+            "function-local numpy import; use the guarded module-level "
+            "pattern (from repro.graph.csr import HAS_NUMPY)"
+        ),
+    }
+
+    def check(self, project: Project, config: AnalysisConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        kernels = set(config.kernel_modules)
+        flags = config.numpy_guard_flags
+        graph = import_graph(project, flags)
+        reachable = reachable_from(graph, config.fallback_roots)
+
+        for module in project.modules():
+            in_kernel = module.name in kernels
+            for record in module_imports(project, module, flags):
+                if _is_numpy(record.target):
+                    if record.scope == "function" and record.guard is None:
+                        findings.append(
+                            self.finding(
+                                module,
+                                record.node,
+                                "NPG003",
+                                "function-local 'import numpy' defers the "
+                                "no-numpy failure to call time; import it at "
+                                "module level under the HAS_NUMPY guard",
+                            )
+                        )
+                    elif record.top_level_unguarded and not in_kernel:
+                        findings.append(
+                            self.finding(
+                                module,
+                                record.node,
+                                "NPG001",
+                                f"module {module.name!r} imports numpy "
+                                "unguarded but is not a declared kernel "
+                                "module; guard it with try/except ImportError "
+                                "or 'if HAS_NUMPY:'",
+                            )
+                        )
+                    continue
+                if not record.top_level_unguarded or in_kernel:
+                    continue
+                resolved = normalise_target(project, record.target)
+                if resolved in kernels and module.name in reachable:
+                    findings.append(
+                        self.finding(
+                            module,
+                            record.node,
+                            "NPG002",
+                            f"module {module.name!r} is reachable from the "
+                            "no-numpy fallback path but imports kernel "
+                            f"module {resolved!r} at top level; import it "
+                            "lazily inside the numpy-only code path",
+                        )
+                    )
+        return findings

@@ -1,0 +1,317 @@
+"""SNAP — snapshot segment dtype and hygiene contracts.
+
+Snapshot segments are raw buffers reopened by ``numpy.memmap`` on arbitrary
+machines: every on-disk array must carry an explicit fixed-width dtype
+(``_little_endian`` normalises byte order at write time), failures must not
+be silently swallowed, and the mapped base segments are read-only.
+
+* ``SNAP001`` — a platform-dependent or width-ambiguous dtype spelling
+  (``np.intp``, ``dtype=int``, ``"long"``, big-endian ``">i8"``) in a
+  snapshot module.
+* ``SNAP002`` — a bare ``except:`` or a broad handler whose body only
+  ``pass``es, silently swallowing corruption.
+* ``SNAP003`` — an in-place write into a name bound from a mapped segment
+  (``segment(...)`` / ``read(...)`` / ``np.frombuffer`` / ``np.memmap``).
+* ``SNAP004`` — a ``patch_level_arrays`` call in a read-only snapshot
+  module without ``allow_in_place=False``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.core import AnalysisConfig, Checker, Finding, Module, Project, register_checker
+
+#: numpy attributes whose width or byte order depends on the platform.
+_PLATFORM_DTYPE_ATTRS = {
+    "int_",
+    "intp",
+    "uintp",
+    "uint",
+    "long",
+    "ulong",
+    "longlong",
+    "ulonglong",
+    "longdouble",
+    "clongdouble",
+    "csingle",
+    "cdouble",
+    "half",
+}
+
+#: builtins that are legal values but platform-ambiguous as dtypes.
+_AMBIGUOUS_BUILTINS = {"int", "float"}
+
+#: width-less or platform-width dtype strings.
+_AMBIGUOUS_STRINGS = {
+    "int",
+    "uint",
+    "float",
+    "complex",
+    "i",
+    "u",
+    "f",
+    "l",
+    "L",
+    "q",
+    "Q",
+    "d",
+    "g",
+    "long",
+    "double",
+    "single",
+}
+
+
+def _dtype_string_ok(text: str) -> bool:
+    """Explicit fixed-width spellings; big-endian and width-less ones fail."""
+    if text.startswith(">") or text.startswith("="):
+        return False
+    if text in _AMBIGUOUS_STRINGS:
+        return False
+    stripped = text.lstrip("<|")
+    if stripped in _AMBIGUOUS_STRINGS:
+        return False
+    # "<i8", "|u1", "int64", "float32", "bool", "O"/"object" (in-memory
+    # label arrays only — labels serialise via JSON/pickle, never raw).
+    return True
+
+
+@register_checker
+class SnapshotDtypeChecker(Checker):
+    name = "snapshot-dtype"
+    rules = {
+        "SNAP001": "platform-dependent or width-ambiguous dtype in a snapshot module",
+        "SNAP002": "bare or broad silent exception handler in a serving/snapshot module",
+        "SNAP003": "in-place write into a read-only mapped segment",
+        "SNAP004": "patch_level_arrays on mapped segments without allow_in_place=False",
+    }
+
+    def check(self, project: Project, config: AnalysisConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        for name in config.snapshot_modules:
+            module = project.get(name)
+            if module is not None:
+                findings.extend(self._check_dtypes(module))
+        for name in config.snapshot_exception_modules:
+            module = project.get(name)
+            if module is not None:
+                findings.extend(self._check_exceptions(module))
+        for name in config.snapshot_readonly_modules:
+            module = project.get(name)
+            if module is not None:
+                findings.extend(self._check_readonly(module, config))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # SNAP001
+    # ------------------------------------------------------------------ #
+    def _check_dtypes(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr in _PLATFORM_DTYPE_ATTRS:
+                if isinstance(node.value, ast.Name) and node.value.id in ("np", "numpy"):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "SNAP001",
+                            f"np.{node.attr} is platform-dependent; snapshot "
+                            "arrays need explicit fixed-width dtypes "
+                            "(np.int64, '<i8', ...)",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == "dtype":
+                        findings.extend(self._check_dtype_value(module, keyword.value))
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("astype", "dtype", "view")
+                    and node.args
+                ):
+                    # np.dtype("int") / arr.astype("long") / arr.view(">i8")
+                    findings.extend(self._check_dtype_value(module, node.args[0]))
+        return findings
+
+    def _check_dtype_value(self, module: Module, value: ast.expr) -> List[Finding]:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            if not _dtype_string_ok(value.value):
+                return [
+                    self.finding(
+                        module,
+                        value,
+                        "SNAP001",
+                        f"dtype string {value.value!r} is width-ambiguous or "
+                        "non-little-endian; use an explicit fixed-width "
+                        "little-endian spelling",
+                    )
+                ]
+        elif isinstance(value, ast.Name) and value.id in _AMBIGUOUS_BUILTINS:
+            return [
+                self.finding(
+                    module,
+                    value,
+                    "SNAP001",
+                    f"dtype={value.id} is platform-width; use an explicit "
+                    "fixed-width dtype (np.int64, np.float64)",
+                )
+            ]
+        return []
+
+    # ------------------------------------------------------------------ #
+    # SNAP002
+    # ------------------------------------------------------------------ #
+    def _check_exceptions(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "SNAP002",
+                        "bare 'except:' swallows everything including "
+                        "KeyboardInterrupt; name the exceptions",
+                    )
+                )
+                continue
+            broad = any(
+                isinstance(t, ast.Name) and t.id in ("Exception", "BaseException")
+                for t in (
+                    node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+                )
+            )
+            silent = all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            )
+            if broad and silent:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "SNAP002",
+                        "broad exception handler silently passes; narrow the "
+                        "exception types or at least log the failure",
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # SNAP003 / SNAP004
+    # ------------------------------------------------------------------ #
+    def _check_readonly(self, module: Module, config: AnalysisConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        factories = set(config.snapshot_mapped_factories)
+        guarded_calls = set(config.snapshot_inplace_guarded_calls)
+
+        functions = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for function in functions:
+            findings.extend(
+                self._check_function_readonly(module, function, factories, guarded_calls)
+            )
+        return findings
+
+    def _is_mapped_source(self, value: ast.expr, factories: Set[str], mapped: Set[str]) -> bool:
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name) and func.id in factories:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in ("frombuffer", "memmap"):
+                return True
+        if isinstance(value, ast.Name) and value.id in mapped:
+            return True
+        if isinstance(value, ast.Subscript):
+            return self._is_mapped_source(value.value, factories, mapped)
+        return False
+
+    def _check_function_readonly(
+        self,
+        module: Module,
+        function: ast.AST,
+        factories: Set[str],
+        guarded_calls: Set[str],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        mapped: Set[str] = set()
+        # ``ast.walk`` is breadth-first; sort by source position so the
+        # linear mapped-name tracking sees statements in program order.
+        ordered = sorted(
+            ast.walk(function),
+            key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)),
+        )
+        for node in ordered:
+            if isinstance(node, ast.Assign):
+                source_mapped = self._is_mapped_source(node.value, factories, mapped)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if source_mapped:
+                            mapped.add(target.id)
+                        else:
+                            mapped.discard(target.id)
+                    elif isinstance(target, ast.Subscript):
+                        base = target.value
+                        if isinstance(base, ast.Name) and base.id in mapped:
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    node,
+                                    "SNAP003",
+                                    f"write into {base.id!r}, which is a "
+                                    "read-only mapped segment; copy before "
+                                    "mutating",
+                                )
+                            )
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                base = target.value if isinstance(target, ast.Subscript) else target
+                if isinstance(base, ast.Name) and base.id in mapped:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "SNAP003",
+                            f"augmented write into mapped segment "
+                            f"{base.id!r}; copy before mutating",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name in guarded_calls:
+                    ok = any(
+                        keyword.arg == "allow_in_place"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is False
+                        for keyword in node.keywords
+                    )
+                    if not ok:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                "SNAP004",
+                                f"{name!r} call in a read-only snapshot "
+                                "module must pass allow_in_place=False "
+                                "(base segments are mapped read-only)",
+                            )
+                        )
+        return findings

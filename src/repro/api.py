@@ -36,7 +36,10 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.serving.server import CommunityServer
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Vertex
@@ -241,7 +244,7 @@ class CommunitySearcher:
         num_workers: Optional[int] = None,
         snapshot_dir: Optional[str] = None,
         start_method: Optional[str] = None,
-    ):
+    ) -> "CommunityServer":
         """Snapshot the index and return a multi-process ``CommunityServer``.
 
         The index is persisted once in the mmap-able snapshot format (skipped
@@ -309,7 +312,7 @@ class CommunitySearcher:
         )
 
     def _wire_result(
-        self, packed, query: Vertex, alpha: int, beta: int
+        self, packed: Tuple[object, str, int], query: Vertex, alpha: int, beta: int
     ) -> SearchResult:
         """Wrap one ``batch_significant_edges`` answer into a ``SearchResult``.
 

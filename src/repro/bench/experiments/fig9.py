@@ -8,7 +8,7 @@ whole graph) and Qopt pulls far ahead as the thresholds grow.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.bench.harness import ExperimentResult
 from repro.bench.workloads import (
@@ -18,6 +18,7 @@ from repro.bench.workloads import (
     time_callable,
 )
 from repro.datasets.registry import load_dataset
+from repro.graph.bipartite import BipartiteGraph
 from repro.index.bicore_index import BicoreIndex
 from repro.index.degeneracy_index import DegeneracyIndex
 from repro.index.queries import online_community_query
@@ -27,7 +28,15 @@ __all__ = ["run"]
 DEFAULT_DATASETS = ("EN", "SO")
 
 
-def _measure(graph, opt_index, bicore_index, alpha, beta, queries, seed):
+def _measure(
+    graph: BipartiteGraph,
+    opt_index: DegeneracyIndex,
+    bicore_index: BicoreIndex,
+    alpha: int,
+    beta: int,
+    queries: int,
+    seed: int,
+) -> Optional[Tuple[Dict[str, float], int]]:
     sampled = sample_core_queries(opt_index, alpha, beta, queries, seed=seed)
     if not sampled:
         return None

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, ItemsView, Iterator, KeysView, List
 
 from repro.bench.harness import ExperimentResult
 from repro.exceptions import InvalidParameterError
@@ -56,7 +56,7 @@ class _LazyRegistry(dict):
         self._ensure()
         return super().__getitem__(key)
 
-    def __iter__(self):  # type: ignore[override]
+    def __iter__(self) -> Iterator[str]:  # type: ignore[override]
         self._ensure()
         return super().__iter__()
 
@@ -64,11 +64,11 @@ class _LazyRegistry(dict):
         self._ensure()
         return super().__len__()
 
-    def keys(self):  # type: ignore[override]
+    def keys(self) -> KeysView[str]:  # type: ignore[override]
         self._ensure()
         return super().keys()
 
-    def items(self):  # type: ignore[override]
+    def items(self) -> ItemsView[str, ExperimentFn]:  # type: ignore[override]
         self._ensure()
         return super().items()
 

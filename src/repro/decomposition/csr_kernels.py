@@ -23,7 +23,7 @@ when numpy is missing.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -44,7 +44,7 @@ __all__ = [
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
-def _expand_neighbors(indptr, indices, verts):
+def _expand_neighbors(indptr: np.ndarray, indices: np.ndarray, verts: np.ndarray) -> np.ndarray:
     """Concatenate the CSR neighbour slices of ``verts`` (with multiplicity)."""
     if verts.size == 1:
         v = int(verts[0])
@@ -60,7 +60,7 @@ def _expand_neighbors(indptr, indices, verts):
     return indices[flat]
 
 
-def _violators(touched, alive, degrees, threshold):
+def _violators(touched: np.ndarray, alive: np.ndarray, degrees: np.ndarray, threshold: int) -> np.ndarray:
     """Deduplicated, currently-alive vertices of ``touched`` below ``threshold``.
 
     Filters before deduplicating (violators are usually a small fraction of
@@ -77,7 +77,7 @@ def _violators(touched, alive, degrees, threshold):
     return cand[keep]
 
 
-def _decrement(degrees, touched):
+def _decrement(degrees: np.ndarray, touched: np.ndarray) -> None:
     """``degrees[v] -= multiplicity of v in touched`` for every touched vertex."""
     if touched.size == 0:
         return
@@ -92,14 +92,14 @@ def _decrement(degrees, touched):
 
 def _cascade(
     csr: CSRBipartiteGraph,
-    alive_u,
-    alive_l,
-    deg_u,
-    deg_l,
+    alive_u: np.ndarray,
+    alive_l: np.ndarray,
+    deg_u: np.ndarray,
+    deg_l: np.ndarray,
     thr_u: int,
     thr_l: int,
-    seeds_u,
-    seeds_l,
+    seeds_u: np.ndarray,
+    seeds_l: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Remove ``seeds`` plus everything forced out by the degree thresholds.
 
@@ -174,6 +174,8 @@ def csr_offsets_fixed_primary(
     secondary threshold under which it survives together with the fixed
     primary ``threshold`` — the CSR twin of
     :func:`repro.decomposition.offsets._offsets_for_fixed_primary`.
+
+    Contract: per-vertex largest secondary threshold survived together with the fixed primary threshold; removed vertices keep offset 0.
     """
     deg_u = csr.upper_degrees().copy()
     deg_l = csr.lower_degrees().copy()
@@ -238,7 +240,7 @@ class _ExternalSupports:
 
     __slots__ = ("owners", "offsets", "cursor")
 
-    def __init__(self, owners, offsets) -> None:
+    def __init__(self, owners: np.ndarray, offsets: np.ndarray) -> None:
         owners = np.asarray(owners, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
         keep = offsets >= 1  # an offset-0 neighbour never supports anyone
@@ -253,7 +255,7 @@ class _ExternalSupports:
             return -1
         return int(self.offsets[self.cursor])
 
-    def drop_below(self, target: int):
+    def drop_below(self, target: int) -> np.ndarray:
         """Owners of the entries that stop counting once the target is ``target``."""
         end = int(np.searchsorted(self.offsets, target, side="left"))
         dropped = self.owners[self.cursor : end]
@@ -263,10 +265,10 @@ class _ExternalSupports:
 
 def csr_region_offsets_fixed_primary(
     csr: CSRBipartiteGraph,
-    ext_owner_u,
-    ext_offset_u,
-    ext_owner_l,
-    ext_offset_l,
+    ext_owner_u: np.ndarray,
+    ext_offset_u: np.ndarray,
+    ext_owner_l: np.ndarray,
+    ext_offset_l: np.ndarray,
     primary_side: Side,
     threshold: int,
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -286,6 +288,8 @@ def csr_region_offsets_fixed_primary(
     move is that every rise of the secondary target first expires the external
     entries below it (a plain degree decrement), and the level jump is capped
     by the next external expiry so supports stay constant across a jump.
+
+    Contract: region offsets with outside neighbours frozen at their old offsets; exact whenever no boundary vertex's offset changes.
     """
     num_u, num_l = csr.num_upper, csr.num_lower
     deg_u = csr.upper_degrees().copy()
@@ -359,7 +363,15 @@ def csr_region_offsets_fixed_primary(
 # agreement suite.
 
 
-def _edge_core(us, ls, num_u, num_l, alive, alpha: int, beta: int):
+def _edge_core(
+    us: np.ndarray,
+    ls: np.ndarray,
+    num_u: int,
+    num_l: int,
+    alive: np.ndarray,
+    alpha: int,
+    beta: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Shrink ``alive`` to the (α,β)-core of the kept edges.
 
     The round cascade of Algorithm 4 run to fixpoint: every iteration kills
@@ -380,7 +392,15 @@ def _edge_core(us, ls, num_u, num_l, alive, alpha: int, beta: int):
         dl = dl - np.bincount(ls[doomed], minlength=num_l)
 
 
-def _edge_component(us, ls, alive, query_upper: bool, query: int, num_u, num_l):
+def _edge_component(
+    us: np.ndarray,
+    ls: np.ndarray,
+    alive: np.ndarray,
+    query_upper: bool,
+    query: int,
+    num_u: int,
+    num_l: int,
+) -> np.ndarray:
     """Edge positions of the query's connected component inside ``alive``."""
     in_u = np.zeros(num_u, dtype=bool)
     in_l = np.zeros(num_l, dtype=bool)
@@ -395,12 +415,25 @@ def _edge_component(us, ls, alive, query_upper: bool, query: int, num_u, num_l):
             return np.flatnonzero(reach)
 
 
-def _peel_mask(us, ls, weight, num_u, num_l, alive, query_upper, query, alpha, beta):
+def _peel_mask(
+    us: np.ndarray,
+    ls: np.ndarray,
+    weight: np.ndarray,
+    num_u: int,
+    num_l: int,
+    alive: np.ndarray,
+    query_upper: bool,
+    query: int,
+    alpha: int,
+    beta: int,
+) -> np.ndarray:
     """Peel the ``alive`` edge subset; the array twin of ``scs_peel``.
 
     Returns the kept edge positions (ascending).  Rounds remove every alive
     edge carrying the current minimum weight, cascade, and on query death
     restore the round and return the query's component.
+
+    Contract: remove minimum-weight edges round by round, cascade the core, and return the query's component of the last surviving round.
     """
     live = np.flatnonzero(alive)
     if np.unique(weight[live]).shape[0] <= 1:
@@ -447,8 +480,21 @@ def _peel_mask(us, ls, weight, num_u, num_l, alive, query_upper, query, alpha, b
     return live
 
 
-def _binary_over_edges(us, ls, weight, num_u, num_l, query_upper, query, alpha, beta):
-    """Binary search over the distinct weights; array twin of ``scs_binary``."""
+def _binary_over_edges(
+    us: np.ndarray,
+    ls: np.ndarray,
+    weight: np.ndarray,
+    num_u: int,
+    num_l: int,
+    query_upper: bool,
+    query: int,
+    alpha: int,
+    beta: int,
+) -> np.ndarray:
+    """Binary search over the distinct weights; array twin of ``scs_binary``.
+
+    Contract: query component of the core at the largest weight threshold keeping the query alive; error if none does.
+    """
     distinct = np.unique(weight)
     low, high = 0, int(distinct.shape[0]) - 1
     best = None
@@ -472,14 +518,25 @@ def _binary_over_edges(us, ls, weight, num_u, num_l, query_upper, query, alpha, 
 
 
 def _expand_over_edges(
-    us, ls, weight, num_u, num_l, query_upper, query, alpha, beta, epsilon
-):
+    us: np.ndarray,
+    ls: np.ndarray,
+    weight: np.ndarray,
+    num_u: int,
+    num_l: int,
+    query_upper: bool,
+    query: int,
+    alpha: int,
+    beta: int,
+    epsilon: float,
+) -> np.ndarray:
     """Heaviest-first expansion; array twin of ``expand_over_pool``.
 
     The union-find itself runs as a python loop over the interned ids (its
     per-edge work is O(α(n)) and resists vectorisation), but each validation —
     the expensive part the geometric rule amortises — is the vectorised core
     fixpoint plus masked peel above.
+
+    Contract: heaviest-first expansion with epsilon-geometric validation; the first component passing validation is the answer.
     """
     order = np.argsort(-weight, kind="stable")
     descending = weight[order]
@@ -499,7 +556,7 @@ def _expand_over_edges(
     comp_usat = [0] * n
     comp_lsat = [0] * n
 
-    def find(v):
+    def find(v: int) -> int:
         root = v
         while parent[root] != root:
             root = parent[root]
@@ -507,7 +564,7 @@ def _expand_over_edges(
             parent[v], v = root, parent[v]
         return root
 
-    def add_edge(e):
+    def add_edge(e: int) -> None:
         a, b = us_list[e], num_u + ls_list[e]
         ra, rb = find(a), find(b)
         if ra == rb:
@@ -532,7 +589,7 @@ def _expand_over_edges(
                 else:
                     comp_lsat[root] += 1
 
-    def validate(inserted):
+    def validate(inserted: int) -> Optional[np.ndarray]:
         root = find(query_vertex)
         candidate = np.zeros(total, dtype=bool)
         members = [e for e in order_list[:inserted] if find(us_list[e]) == root]
@@ -590,9 +647,9 @@ def _expand_over_edges(
 
 
 def csr_significant_edges(
-    src,
-    dst,
-    weight,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weight: np.ndarray,
     query_in_upper: bool,
     query_id: int,
     alpha: int,
@@ -609,6 +666,8 @@ def csr_significant_edges(
     wire), ``query_id`` names the query vertex in the space selected by
     ``query_in_upper``.  Returns the ascending ``np.int64`` positions whose
     edges form the significant community.
+
+    Contract: ascending positions of the query's significant (alpha,beta)-community edges, identical to the dict-backed scs oracle.
     """
     check_thresholds(alpha, beta)
     if method not in SCS_EDGE_METHODS:

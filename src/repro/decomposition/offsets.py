@@ -27,7 +27,10 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from itertools import count
-from typing import Dict, Iterable, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
+
+if TYPE_CHECKING:
+    import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.csr import CSRBipartiteGraph, resolve_backend
@@ -82,6 +85,8 @@ def _offsets_for_fixed_primary(
     α-offsets); the other ("secondary") layer is peeled by increasing degree.
     Returns, for every vertex, the largest secondary threshold under which it
     survives together with the fixed primary threshold.
+
+    Contract: per-vertex largest secondary threshold survived together with the fixed primary threshold; removed vertices keep offset 0.
     """
     secondary_side = primary_side.other
     offsets: Dict[Vertex, int] = {vertex: 0 for vertex in degrees}
@@ -184,6 +189,8 @@ def region_offsets_fixed_primary(
 
     Regions are small by construction, so this uses plain scans instead of
     the lazy heap of :func:`_offsets_for_fixed_primary`.
+
+    Contract: region offsets with outside neighbours frozen at their old offsets; exact whenever no boundary vertex's offset changes.
     """
     secondary_side = primary_side.other
     offsets: Dict[Vertex, int] = {vertex: 0 for vertex in internal}
@@ -268,7 +275,7 @@ def region_offsets_fixed_primary(
 
 
 def offsets_dict_from_arrays(
-    csr: CSRBipartiteGraph, upper_offsets, lower_offsets
+    csr: CSRBipartiteGraph, upper_offsets: "np.ndarray", lower_offsets: "np.ndarray"
 ) -> Dict[Vertex, int]:
     """Translate per-layer offset arrays into the dict-backend ``{Vertex: int}``.
 

@@ -119,12 +119,12 @@ class CSRBipartiteGraph:
         name: str,
         upper_labels: List[Hashable],
         lower_labels: List[Hashable],
-        u_indptr,
-        u_indices,
-        u_weights,
-        l_indptr,
-        l_indices,
-        l_weights,
+        u_indptr: np.ndarray,
+        u_indices: np.ndarray,
+        u_weights: np.ndarray,
+        l_indptr: np.ndarray,
+        l_indices: np.ndarray,
+        l_weights: np.ndarray,
     ) -> None:
         self.name = name
         self.upper_labels = upper_labels
@@ -163,7 +163,9 @@ class CSRBipartiteGraph:
         upper_ids = {label: i for i, label in enumerate(upper_labels)}
         lower_ids = {label: i for i, label in enumerate(lower_labels)}
 
-        def build_layer(side: Side, labels: List[Hashable], other_ids: Dict[Hashable, int]):
+        def build_layer(
+            side: Side, labels: List[Hashable], other_ids: Dict[Hashable, int]
+        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
             indptr = np.zeros(len(labels) + 1, dtype=np.int64)
             index_chunks: List[int] = []
             weight_chunks: List[float] = []
@@ -224,15 +226,15 @@ class CSRBipartiteGraph:
     def num_edges(self) -> int:
         return int(self.u_indices.shape[0])
 
-    def upper_degrees(self):
+    def upper_degrees(self) -> np.ndarray:
         """Degrees of all upper vertices as an ``int64`` array."""
         return np.diff(self.u_indptr)
 
-    def lower_degrees(self):
+    def lower_degrees(self) -> np.ndarray:
         """Degrees of all lower vertices as an ``int64`` array."""
         return np.diff(self.l_indptr)
 
-    def layer(self, side: Side):
+    def layer(self, side: Side) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(indptr, indices, weights)`` for one layer."""
         if side is Side.UPPER:
             return self.u_indptr, self.u_indices, self.u_weights
@@ -272,7 +274,7 @@ class CSRBipartiteGraph:
     def handles(self, side: Side) -> List[Vertex]:
         return self.upper_handles() if side is Side.UPPER else self.lower_handles()
 
-    def upper_handle_array(self):
+    def upper_handle_array(self) -> np.ndarray:
         """Upper handles as a numpy object array (cached), for fancy indexing."""
         if self._upper_handle_arr is None:
             arr = np.empty(self.num_upper, dtype=object)
@@ -280,7 +282,7 @@ class CSRBipartiteGraph:
             self._upper_handle_arr = arr
         return self._upper_handle_arr
 
-    def lower_handle_array(self):
+    def lower_handle_array(self) -> np.ndarray:
         """Lower handles as a numpy object array (cached), for fancy indexing."""
         if self._lower_handle_arr is None:
             arr = np.empty(self.num_lower, dtype=object)
@@ -288,7 +290,7 @@ class CSRBipartiteGraph:
             self._lower_handle_arr = arr
         return self._lower_handle_arr
 
-    def handle_array(self, side: Side):
+    def handle_array(self, side: Side) -> np.ndarray:
         return (
             self.upper_handle_array()
             if side is Side.UPPER

@@ -20,7 +20,10 @@ are the raw building blocks:
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.graph.bipartite import Side
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph
@@ -212,13 +215,13 @@ def planted_community_graph(
     return graph, planted_upper, planted_lower
 
 
-def _upper_key(label: Hashable):
+def _upper_key(label: Hashable) -> "Tuple[Side, Hashable]":
     from repro.graph.bipartite import Side
 
     return Side.UPPER, label
 
 
-def _lower_key(label: Hashable):
+def _lower_key(label: Hashable) -> "Tuple[Side, Hashable]":
     from repro.graph.bipartite import Side
 
     return Side.LOWER, label

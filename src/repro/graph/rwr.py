@@ -92,7 +92,7 @@ def _csr_scores(
     restart_prob: float,
     max_iterations: int,
     tolerance: float,
-):
+) -> "Tuple[np.ndarray, np.ndarray]":
     """Vectorised power iteration over the frozen CSR adjacency.
 
     Returns ``(upper_scores, lower_scores)`` float arrays indexed by the CSR's

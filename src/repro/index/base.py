@@ -6,7 +6,10 @@ import abc
 import contextlib
 import gc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.index.traversal import ArrayQueryPath
 
 from repro.exceptions import EmptyCommunityError, InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Vertex
@@ -39,7 +42,11 @@ def check_on_empty(on_empty: str) -> None:
         )
 
 
-def apply_batch_policy(queries, answer_one, on_empty: str) -> List:
+def apply_batch_policy(
+    queries: "Iterable[BatchQuery]",
+    answer_one: "Callable[[Vertex, int, int], object]",
+    on_empty: str,
+) -> List:
     """Answer every ``(query, alpha, beta)`` triple under one empty-policy.
 
     The single implementation of the ``on_empty`` semantics shared by every
@@ -144,7 +151,7 @@ class CommunityIndex(abc.ABC):
         """
         return apply_batch_policy(queries, self.community, on_empty)
 
-    def query_path(self):
+    def query_path(self) -> "Optional[ArrayQueryPath]":
         """The array-backed query engine of this index (``None`` sans numpy).
 
         Lazily creates and caches one

@@ -31,7 +31,7 @@ maintained) indexes can serve the array query path too.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -233,6 +233,8 @@ def build_level_arrays(
     upper global ids precede all lower global ids, concatenating the two
     sides yields the globally ordered entry arrays directly; only a bincount
     and a cumulative sum are needed for the slice boundaries.
+
+    Contract: the flat LevelArrays of one level, per-vertex entry slices grouped by global id in the index's sorted entry order.
     """
     num_upper = csr.num_upper
     num_vertices = num_upper + csr.num_lower
@@ -260,7 +262,7 @@ def build_level_arrays(
 
 def level_dicts_from_arrays(
     arrays: LevelArrays,
-    handles,
+    handles: "Sequence[Vertex]",
     tau: int,
     alpha_half: bool,
 ) -> Tuple[Dict[Vertex, int], AdjacencyLists]:
@@ -344,6 +346,8 @@ def patch_level_arrays(
     unchanged gaps between patched vertices — never touching entries outside
     the patched region.  Snapshot replay passes ``allow_in_place=False``
     because its base segments are read-only memory maps.
+
+    Contract: splice recomputed per-vertex entries and offsets of one level; vertices outside the patched set are untouched.
     """
     gids = np.asarray(gids, dtype=np.int64)
     counts = np.asarray(counts, dtype=np.int64)
@@ -423,7 +427,7 @@ def patch_level_arrays(
 
 def assemble_sorted_vertex_table(
     csr: CSRBipartiteGraph, upper_offsets: np.ndarray, lower_offsets: np.ndarray
-):
+) -> "List[Tuple[Vertex, int]]":
     """One bicore-index membership table, assembled array-natively.
 
     The table lists every vertex with a non-zero offset, sorted by decreasing
@@ -456,6 +460,8 @@ def level_arrays_from_dicts(
     path: one O(entries) conversion per level, amortised across a batch of
     queries.  Vertices absent from ``global_ids`` (stale zero-offset entries
     left behind by graph shrinkage) are skipped.
+
+    Contract: the flat LevelArrays of one level, per-vertex entry slices grouped by global id in the index's sorted entry order.
     """
     counts = np.zeros(num_vertices, dtype=np.int64)
     for vertex, entries in lists.items():

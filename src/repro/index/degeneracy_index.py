@@ -18,7 +18,12 @@ O(δ·m) entries.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.index.csr_build import LevelArrays
 
 from repro.decomposition.degeneracy import degeneracy
 from repro.decomposition.offsets import alpha_offsets, beta_offsets, offsets_dict_from_arrays
@@ -291,7 +296,7 @@ class DegeneracyIndex(CommunityIndex):
 
     def _route_array(
         self, path: ArrayQueryPath, query: Vertex, alpha: int, beta: int
-    ):
+    ) -> Tuple[Tuple[str, int], int]:
         """Validate an array-path query and resolve its level key/requirement.
 
         Shares the exact raise behaviour of :meth:`community`; converts the
@@ -345,7 +350,9 @@ class DegeneracyIndex(CommunityIndex):
         if cache is None:
             cache = {}
 
-        def answer_one(query: Vertex, alpha: int, beta: int):
+        def answer_one(
+            query: Vertex, alpha: int, beta: int
+        ) -> "Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], str, int]":
             key, requirement = self._route_array(path, query, alpha, beta)
             resolved = resolve_scs_method(method, alpha, beta, self._delta)
             edges, space = path.significant_edges(
@@ -362,7 +369,7 @@ class DegeneracyIndex(CommunityIndex):
 
         return apply_batch_policy(queries, answer_one, on_empty)
 
-    def export_level_arrays(self):
+    def export_level_arrays(self) -> "Dict[Tuple[str, int], LevelArrays]":
         """All flat level arrays of both halves, keyed ``("alpha"|"beta", τ)``.
 
         The snapshot store (:mod:`repro.serving.snapshot`) persists exactly

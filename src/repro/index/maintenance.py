@@ -53,15 +53,25 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.graph.csr import CSRBipartiteGraph
+    from repro.index.csr_build import LevelArrays
+    from repro.index.traversal import AdjacencyLists
+    from repro.serving.snapshot import SnapshotIndex
 
 from repro.decomposition.abcore import abcore_vertices
 from repro.decomposition.offsets import region_offsets_fixed_primary
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
+from repro.graph.csr import HAS_NUMPY
 from repro.graph.views import induced_subgraph
 from repro.index.base import IndexStats
 from repro.index.degeneracy_index import DegeneracyIndex
 from repro.utils.timer import Timer
+
+if HAS_NUMPY:  # pragma: no branch - trivial import guard
+    import numpy as np
 
 __all__ = [
     "DEFAULT_REGION_BUDGET",
@@ -213,8 +223,6 @@ class _RegionPeel:
             self._freeze_region()
 
     def _freeze_region(self) -> None:
-        import numpy as np
-
         from repro.graph.csr import CSRBipartiteGraph
 
         uppers = [v for v in self._internal if v.side is Side.UPPER]
@@ -222,7 +230,9 @@ class _RegionPeel:
         upper_ids = {v: i for i, v in enumerate(uppers)}
         lower_ids = {v: i for i, v in enumerate(lowers)}
 
-        def layer(vertices: List[Vertex], other_ids: Dict[Vertex, int]):
+        def layer(
+            vertices: List[Vertex], other_ids: Dict[Vertex, int]
+        ) -> "Tuple[np.ndarray, np.ndarray, np.ndarray]":
             indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
             indices: List[int] = []
             for i, vertex in enumerate(vertices):
@@ -458,7 +468,7 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         self._arrays_dropped = 0
 
     @classmethod
-    def from_snapshot(cls, snapshot) -> "DynamicDegeneracyIndex":
+    def from_snapshot(cls, snapshot: "SnapshotIndex") -> "DynamicDegeneracyIndex":
         """Reopen a persisted snapshot as a mutable, maintainable index.
 
         The dict stores are reconstructed from the snapshot's flat level
@@ -575,7 +585,7 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
             self._path_matches_graph = True
             self._arrays_invalidated += 1
 
-    def export_level_arrays(self):
+    def export_level_arrays(self) -> "Dict[Tuple[str, int], LevelArrays]":
         """See :meth:`DegeneracyIndex.export_level_arrays`.
 
         A maintained index may carry dead ids in its array path (vertices
@@ -646,8 +656,6 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         if not wiped:
             return
         from repro.index.csr_build import entries_to_patch_arrays, patch_level_arrays
-
-        import numpy as np
 
         gids, counts, ev, ew, eo = entries_to_patch_arrays({g: [] for g in wiped})
         zeros = np.zeros(gids.shape[0], dtype=np.int64)
@@ -823,7 +831,7 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         return all(bounds[vertex] <= old.get(vertex, 0) for vertex in endpoints)
 
     def _full_level_offsets(
-        self, tau: int, primary_side: Side, frozen
+        self, tau: int, primary_side: Side, frozen: "Optional[CSRBipartiteGraph]"
     ) -> Dict[Vertex, int]:
         """One level's offsets over the whole graph (the budget fallback)."""
         if frozen is not None:
@@ -855,6 +863,8 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         spliced into the arrays and marked dirty in the journal.  Changed
         vertices are always interior (the pinch verified the boundary), so
         every rebuilt list stays inside the peeled region.
+
+        Contract: splice recomputed per-vertex entries and offsets of one level; vertices outside the patched set are untouched.
         """
         sa = self._alpha_offsets.setdefault(tau, {})
         sb = self._beta_offsets.setdefault(tau, {})
@@ -920,16 +930,14 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         touched: Sequence[Vertex],
         sa: Dict[Vertex, int],
         sb: Dict[Vertex, int],
-        alpha_lists,
-        beta_lists,
+        alpha_lists: AdjacencyLists,
+        beta_lists: AdjacencyLists,
     ) -> None:
         """Splice the patched vertices into any materialised level arrays."""
         path = self._array_path
         if path is None:
             return
         from repro.index.csr_build import entries_to_patch_arrays, patch_level_arrays
-
-        import numpy as np
 
         for half, offsets, lists in (
             ("alpha", sa, alpha_lists),

@@ -23,7 +23,12 @@ from __future__ import annotations
 
 from collections import deque
 from itertools import islice
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.index.csr_build import LevelArrays
 
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
 from repro.graph.csr import HAS_NUMPY
@@ -37,6 +42,7 @@ __all__ = [
     "IndexEntry",
     "AdjacencyLists",
     "bfs_over_lists",
+    "bfs_edges_over_arrays",
     "bfs_over_arrays",
     "ArrayQueryPath",
 ]
@@ -53,6 +59,8 @@ def bfs_over_lists(
     name: str = "",
 ) -> BipartiteGraph:
     """Collect the community of ``query`` from sorted adjacency lists.
+
+    Contract: query's connected component over vertices with offset >= requirement; each edge once.
 
     ``lists[v]`` must be sorted by decreasing offset; an entry whose offset is
     >= ``requirement`` corresponds to an edge of the answer.  The caller is
@@ -76,7 +84,9 @@ def bfs_over_lists(
     return community
 
 
-def _qualifying_counts(level, frontier, requirement):
+def _qualifying_counts(
+    level: "LevelArrays", frontier: "np.ndarray", requirement: int
+) -> "np.ndarray":
     """Entries of each frontier vertex whose offset meets ``requirement``.
 
     Slices are sorted by decreasing offset, so the qualifying entries form a
@@ -105,7 +115,12 @@ def _qualifying_counts(level, frontier, requirement):
     return starts, counts
 
 
-def _grouped_adjacency(owners, owner_label_arr, other_labels, weights):
+def _grouped_adjacency(
+    owners: "np.ndarray",
+    owner_label_arr: "np.ndarray",
+    other_labels: "np.ndarray",
+    weights: "np.ndarray",
+) -> Dict[Hashable, Dict[Hashable, float]]:
     """``{owner label: {other label: weight}}`` from contiguous owner runs.
 
     ``owners`` must list each distinct owner in one contiguous run (BFS
@@ -124,7 +139,14 @@ def _grouped_adjacency(owners, owner_label_arr, other_labels, weights):
     }
 
 
-def _graph_from_edge_arrays(src, dst, weight, upper_label_arr, lower_label_arr, name):
+def _graph_from_edge_arrays(
+    src: "np.ndarray",
+    dst: "np.ndarray",
+    weight: "np.ndarray",
+    upper_label_arr: "np.ndarray",
+    lower_label_arr: "np.ndarray",
+    name: str,
+) -> BipartiteGraph:
     """Materialise a :class:`BipartiteGraph` from parallel edge-id arrays.
 
     The upper direction needs no sort at all: every upper vertex is expanded
@@ -146,35 +168,26 @@ def _graph_from_edge_arrays(src, dst, weight, upper_label_arr, lower_label_arr, 
     )
 
 
-def bfs_over_arrays(
-    level,
+def bfs_edges_over_arrays(
+    level: "LevelArrays",
     query_id: int,
     requirement: int,
-    upper_label_arr=None,
-    lower_label_arr=None,
-    visited=None,
-    name: str = "",
-    return_members: bool = False,
-    assemble: bool = True,
-):
-    """Collect the community of the vertex ``query_id`` from one
-    :class:`~repro.index.csr_build.LevelArrays` level.
+    visited: "Optional[np.ndarray]" = None,
+) -> "Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], np.ndarray]":
+    """Collect one community as raw edge arrays — the zero-materialisation core.
 
-    The array twin of :func:`bfs_over_lists`: identical answers, but whole
-    frontiers are expanded per round with vectorised gathers and every edge is
-    emitted exactly once (from its upper endpoint, which the connected answer
-    always visits).  ``visited`` may supply a reusable boolean scratch array
-    of length ``level.offsets.shape[0]``; it is restored to all-``False``
-    before returning, so a batch of queries can share one allocation.  With
-    ``return_members`` the result is a ``(community, member global ids)``
-    pair, which lets batch callers memoise whole connected components.
+    Contract: query's connected component over vertices with offset >= requirement; each edge once.
 
-    With ``assemble=False`` the dict-building final step is skipped and the
-    answer is returned as raw parallel edge arrays ``(src upper ids, dst
-    lower ids, weights)`` — the compact wire form the multi-process serving
-    layer ships between processes (label arrays may then be ``None``); the
-    same arrays fed to the assembly step later reproduce the identical
-    community graph.
+    The pure array half of :func:`bfs_over_arrays`, split out so the
+    statically-checked zero-materialisation path (rule ``MAT00x`` in
+    ``repro.analysis``) never even *reaches* the dict-assembly code: the
+    answer is returned as parallel ``(src upper ids, dst lower ids,
+    weights)`` arrays — the compact wire form the multi-process serving
+    layer ships between processes — together with the member global ids
+    that let batch callers memoise whole connected components.  ``visited``
+    may supply a reusable boolean scratch array of length
+    ``level.offsets.shape[0]``; it is restored to all-``False`` before
+    returning, so a batch of queries can share one allocation.
     """
     num_upper = level.num_upper
     indptr = level.indptr
@@ -218,6 +231,45 @@ def bfs_over_arrays(
         src = np.concatenate(src_parts)
         dst = np.concatenate(dst_parts)
         weight = np.concatenate(weight_parts)
+    return (src, dst, weight), members
+
+
+def bfs_over_arrays(
+    level: "LevelArrays",
+    query_id: int,
+    requirement: int,
+    upper_label_arr: "Optional[np.ndarray]" = None,
+    lower_label_arr: "Optional[np.ndarray]" = None,
+    visited: "Optional[np.ndarray]" = None,
+    name: str = "",
+    return_members: bool = False,
+    assemble: bool = True,
+) -> Any:
+    """Collect the community of the vertex ``query_id`` from one
+    :class:`~repro.index.csr_build.LevelArrays` level.
+
+    Contract: query's connected component over vertices with offset >= requirement; each edge once.
+
+    The array twin of :func:`bfs_over_lists`: identical answers, but whole
+    frontiers are expanded per round with vectorised gathers (the BFS core
+    lives in :func:`bfs_edges_over_arrays`).  ``visited`` may supply a
+    reusable boolean scratch array of length ``level.offsets.shape[0]``; it
+    is restored to all-``False`` before returning, so a batch of queries can
+    share one allocation.  With ``return_members`` the result is a
+    ``(community, member global ids)`` pair, which lets batch callers
+    memoise whole connected components.
+
+    With ``assemble=False`` the dict-building final step is skipped and the
+    raw ``(src upper ids, dst lower ids, weights)`` triple of
+    :func:`bfs_edges_over_arrays` is returned unchanged (label arrays may
+    then be ``None``); the same arrays fed to the assembly step later
+    reproduce the identical community graph.  Zero-materialisation callers
+    use :func:`bfs_edges_over_arrays` directly so the assembly below stays
+    statically unreachable from them.
+    """
+    (src, dst, weight), members = bfs_edges_over_arrays(
+        level, query_id, requirement, visited=visited
+    )
     if not assemble:
         result = (src, dst, weight)
     elif src.size == 0:
@@ -283,7 +335,7 @@ class ArrayQueryPath:
     def has_level(self, key: Hashable) -> bool:
         return key in self._levels
 
-    def level(self, key: Hashable):
+    def level(self, key: Hashable) -> "LevelArrays":
         """The registered :class:`~repro.index.csr_build.LevelArrays` of ``key``."""
         return self._levels[key]
 
@@ -299,11 +351,11 @@ class ArrayQueryPath:
         """The full ``{vertex: global id}`` mapping of this path's id space."""
         return self._global_ids
 
-    def level_keys(self):
+    def level_keys(self) -> List[Hashable]:
         """The keys of every materialised level (patch targets)."""
         return list(self._levels)
 
-    def set_level(self, key: Hashable, arrays) -> None:
+    def set_level(self, key: Hashable, arrays: "LevelArrays") -> None:
         """Register a natively built level (or swap in a patched one)."""
         self._levels[key] = arrays
 
@@ -395,13 +447,11 @@ class ArrayQueryPath:
             hit = bucket.get(query_id)
             if hit is not None:
                 return hit
-        edges, members = bfs_over_arrays(
+        edges, members = bfs_edges_over_arrays(
             self._levels[key],
             query_id,
             requirement,
             visited=self._visited,
-            return_members=True,
-            assemble=False,
         )
         if bucket is not None:
             for member in members.tolist():

@@ -131,7 +131,10 @@ def _peel_indices(
     alpha: int,
     beta: int,
 ) -> List[int]:
-    """Peel the ``alive`` subset; mirrors ``scs_peel`` round for round."""
+    """Peel the ``alive`` subset; mirrors ``scs_peel`` round for round.
+
+    Contract: remove minimum-weight edges round by round, cascade the core, and return the query's component of the last surviving round.
+    """
     live = [e for e, keep in enumerate(alive) if keep]
     if len({weight[e] for e in live}) <= 1:
         # Single distinct weight: the (sub)community itself is the answer.
@@ -189,6 +192,10 @@ def _binary_indices(
     alpha: int,
     beta: int,
 ) -> List[int]:
+    """Binary search over the distinct weights; mirrors ``scs_binary``.
+
+    Contract: query component of the core at the largest weight threshold keeping the query alive; error if none does.
+    """
     distinct = sorted(set(weight))
     low, high = 0, len(distinct) - 1
     best: Optional[List[bool]] = None
@@ -227,6 +234,10 @@ def _expand_indices(
     beta: int,
     epsilon: float,
 ) -> List[int]:
+    """Heaviest-first expansion; mirrors ``expand_over_pool``.
+
+    Contract: heaviest-first expansion with epsilon-geometric validation; the first component passing validation is the answer.
+    """
     order = sorted(range(len(weight)), key=lambda e: -weight[e])
     total = len(order)
     n = num_upper + num_lower
@@ -358,6 +369,8 @@ def significant_edge_indices(
     positions whose edges form the significant community — identical, edge
     for edge, to what the dict-backed ``scs_*`` oracle computes on the
     assembled graph.
+
+    Contract: ascending positions of the query's significant (alpha,beta)-community edges, identical to the dict-backed scs oracle.
     """
     check_thresholds(alpha, beta)
     if method not in SCS_EDGE_METHODS:

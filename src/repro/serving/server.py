@@ -23,6 +23,7 @@ or, from a built index, ``CommunitySearcher.serve()``.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as queue_module
 import shutil
@@ -38,6 +39,8 @@ from repro.search.result import SearchResult
 from repro.serving.snapshot import MANIFEST_NAME
 from repro.serving.wire import DeferredCommunity
 from repro.serving.worker import worker_main
+
+_logger = logging.getLogger(__name__)
 
 __all__ = ["CommunityServer"]
 
@@ -250,8 +253,10 @@ class CommunityServer:
     def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
         try:
             self.stop()
-        except Exception:
-            pass
+        except (OSError, ValueError, RuntimeError, AttributeError) as exc:
+            # Interpreter teardown can leave queues/processes half-collected;
+            # those specific failures are expected here, but never silent.
+            _logger.debug("CommunityServer.__del__ stop failed: %r", exc)
 
     # ------------------------------------------------------------------ #
     # batch serving
@@ -334,7 +339,7 @@ class CommunityServer:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _label_arrays(self):
+    def _label_arrays(self) -> Tuple[object, object]:
         """The snapshot's intern table (read once, lazily).
 
         The only piece of the snapshot the driving process ever opens; the
@@ -383,7 +388,7 @@ class CommunityServer:
             pending.discard(shard_id)
         return answers
 
-    def _next_message(self, timeout: Optional[float]):
+    def _next_message(self, timeout: Optional[float]) -> Tuple[object, ...]:
         """Read one protocol message, watching worker liveness while waiting.
 
         ``timeout=None`` waits indefinitely — worker deaths are still caught

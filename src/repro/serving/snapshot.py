@@ -34,7 +34,18 @@ from __future__ import annotations
 import json
 import pickle
 from pathlib import Path
-from typing import Dict, Hashable, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.exceptions import (
     EmptyCommunityError,
@@ -50,6 +61,12 @@ if HAS_NUMPY:  # pragma: no branch - trivial import guard
     import numpy as np
 else:  # pragma: no cover - environment without numpy
     np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:
+    from repro.graph.csr import CSRBipartiteGraph
+    from repro.index.csr_build import LevelArrays
+    from repro.index.maintenance import DynamicDegeneracyIndex
+    from repro.index.traversal import ArrayQueryPath
 
 __all__ = [
     "MANIFEST_NAME",
@@ -93,7 +110,7 @@ def _corrupt(directory: Path, detail: str) -> IndexConsistencyError:
     return IndexConsistencyError(f"snapshot at {directory} is unreadable: {detail}")
 
 
-def _little_endian(array):
+def _little_endian(array: "np.ndarray") -> "np.ndarray":
     """Return ``array`` with a little-endian dtype (no copy on LE machines)."""
     dtype = array.dtype
     if dtype.byteorder == ">" or (dtype.byteorder == "=" and np.little_endian is False):
@@ -104,7 +121,9 @@ def _little_endian(array):
 # --------------------------------------------------------------------------- #
 # saving
 # --------------------------------------------------------------------------- #
-def _write_segment_file(path: Path, items) -> Tuple[Dict[str, Dict[str, object]], int]:
+def _write_segment_file(
+    path: Path, items: Iterable[Tuple[str, object]]
+) -> Tuple[Dict[str, Dict[str, object]], int]:
     """Write aligned segments to ``path``; return the segment table and size.
 
     ``items`` yields ``(name, payload)`` pairs where a payload is either a
@@ -184,7 +203,7 @@ def save_snapshot(index: CommunityIndex, directory: PathLike) -> Path:
     csr = freeze(graph)
     levels = export()
 
-    def arrays():
+    def arrays() -> Iterator[Tuple[str, "np.ndarray"]]:
         for field in _GRAPH_FIELDS:
             yield f"graph/{field}", getattr(csr, field)
         for (half, tau), level in sorted(levels.items()):
@@ -234,7 +253,7 @@ def save_snapshot(index: CommunityIndex, directory: PathLike) -> Path:
     return directory
 
 
-def save_snapshot_delta(index, directory: PathLike) -> Path:
+def save_snapshot_delta(index: "DynamicDegeneracyIndex", directory: PathLike) -> Path:
     """Append one delta segment for a maintained index's pending changes.
 
     The index's :class:`~repro.index.maintenance.MaintenanceJournal` must be
@@ -271,12 +290,12 @@ def save_snapshot_delta(index, directory: PathLike) -> Path:
             elif journal.dirty.get(key):
                 patch_keys.append(key)
 
-    def stores(half: str):
+    def stores(half: str) -> Tuple[Dict[int, Dict], Dict[int, Dict]]:
         if half == "alpha":
             return index._alpha_offsets, index._alpha_lists
         return index._beta_offsets, index._beta_lists
 
-    def payloads():
+    def payloads() -> Iterator[Tuple[str, object]]:
         for half, tau in full_keys:
             offsets, lists = stores(half)
             arrays = level_arrays_from_dicts(
@@ -370,7 +389,7 @@ def _write_labels(directory: Path, labels: Dict[str, List[Hashable]]) -> str:
 # --------------------------------------------------------------------------- #
 # loading
 # --------------------------------------------------------------------------- #
-def _segment_reader(directory: Path, manifest: Dict, data_name_default: str):
+def _segment_reader(directory: Path, manifest: Dict, data_name_default: str) -> "Callable[[str], object]":
     """A closure reading named segments of one (manifest, data file) pair.
 
     Arrays come back as zero-copy views into a read-only memory map; pickled
@@ -389,7 +408,7 @@ def _segment_reader(directory: Path, manifest: Dict, data_name_default: str):
         np.memmap(data_path, dtype=np.uint8, mode="r") if actual_size else None
     )
 
-    def segment(name: str):
+    def segment(name: str) -> object:
         spec = segments.get(name)
         if spec is None:
             raise _corrupt(directory, f"segment {name!r} is missing from the manifest")
@@ -628,7 +647,7 @@ def _read_manifest(directory: Path) -> Dict:
     return manifest
 
 
-def load_label_arrays(directory: PathLike):
+def load_label_arrays(directory: PathLike) -> "Tuple[np.ndarray, np.ndarray]":
     """Just a snapshot's intern table, as numpy object arrays.
 
     The cheap parent-side half of answer assembly: a
@@ -796,7 +815,7 @@ class SnapshotIndex(CommunityIndex):
             self._graph = graph
         return self._graph
 
-    def csr_graph(self):
+    def csr_graph(self) -> "CSRBipartiteGraph":
         """The snapshotted graph as a :class:`CSRBipartiteGraph` (cached)."""
         if self._csr is None:
             from repro.graph.csr import CSRBipartiteGraph, freeze
@@ -812,7 +831,7 @@ class SnapshotIndex(CommunityIndex):
                 )
         return self._csr
 
-    def query_path(self):
+    def query_path(self) -> "ArrayQueryPath":
         """The array query engine over the mapped segments (built once)."""
         if self._array_path is None:
             from repro.index.traversal import ArrayQueryPath
@@ -835,7 +854,9 @@ class SnapshotIndex(CommunityIndex):
         """Base-id-space membership minus the vertices deltas removed."""
         return self.query_path().has_vertex(vertex) and vertex not in self._removed
 
-    def _route_checked(self, query: Vertex, alpha: int, beta: int):
+    def _route_checked(
+        self, query: Vertex, alpha: int, beta: int
+    ) -> "Tuple[ArrayQueryPath, Tuple[str, int], int]":
         """Validate a query and resolve its level key and offset requirement.
 
         The shared gate of both answer forms (graph and wire edges): raises
@@ -870,7 +891,7 @@ class SnapshotIndex(CommunityIndex):
 
     def batch_community(
         self,
-        queries,
+        queries: Iterable[Tuple[Vertex, int, int]],
         on_empty: str = "raise",
     ) -> List[Optional[BipartiteGraph]]:
         """Batched ``Qopt`` with per-batch component memoisation."""
@@ -883,13 +904,16 @@ class SnapshotIndex(CommunityIndex):
 
     def _answer_edges(
         self, query: Vertex, alpha: int, beta: int, cache: Optional[Dict] = None
-    ):
+    ) -> "Tuple[np.ndarray, np.ndarray, np.ndarray]":
         """Like :meth:`_answer` but returning the raw wire edge arrays."""
         path, key, requirement = self._route_checked(query, alpha, beta)
         return path.community_edges(key, query, requirement, cache=cache)
 
     def batch_community_edges(
-        self, queries, on_empty: str = "raise", cache: Optional[Dict] = None
+        self,
+        queries: Iterable[Tuple[Vertex, int, int]],
+        on_empty: str = "raise",
+        cache: Optional[Dict] = None,
     ) -> List:
         """Batched ``Qopt`` in compact wire form.
 
@@ -915,7 +939,7 @@ class SnapshotIndex(CommunityIndex):
 
     def batch_significant_edges(
         self,
-        queries,
+        queries: Iterable[Tuple[Vertex, int, int]],
         method: str = "auto",
         epsilon: float = 2.0,
         on_empty: str = "raise",
@@ -942,7 +966,9 @@ class SnapshotIndex(CommunityIndex):
         if cache is None:
             cache = {}
 
-        def answer_one(query: Vertex, alpha: int, beta: int):
+        def answer_one(
+            query: Vertex, alpha: int, beta: int
+        ) -> "Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], str, int]":
             path, key, requirement = self._route_checked(query, alpha, beta)
             resolved = resolve_scs_method(method, alpha, beta, self._delta)
             edges, space = path.significant_edges(

@@ -22,7 +22,10 @@ process that routes answers onward never pays dict materialisation at all.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:
+    import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph, Side
 
@@ -43,7 +46,12 @@ class DeferredCommunity(BipartiteGraph):
 
     __slots__ = ("_wire_edges", "_wire_labels")
 
-    def __init__(self, edges: WireEdges, label_arrays, name: str = "") -> None:
+    def __init__(
+        self,
+        edges: WireEdges,
+        label_arrays: "Tuple[np.ndarray, np.ndarray]",
+        name: str = "",
+    ) -> None:
         # Deliberately skip BipartiteGraph.__init__: leaving the _adj slot
         # unset is what makes materialisation lazy (see __getattr__).
         self.name = name
@@ -51,7 +59,7 @@ class DeferredCommunity(BipartiteGraph):
         self._wire_edges = edges
         self._wire_labels = label_arrays
 
-    def __getattr__(self, attr: str):
+    def __getattr__(self, attr: str) -> object:
         # Only ever reached for slots that are still unset; _adj is the one
         # we leave unset on purpose.
         if attr == "_adj":

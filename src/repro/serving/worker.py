@@ -23,7 +23,10 @@ a pickle round-trip.
 from __future__ import annotations
 
 import os
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:
+    from multiprocessing import Queue
 
 __all__ = ["worker_main", "describe_error"]
 
@@ -33,7 +36,7 @@ def describe_error(exc: BaseException) -> Tuple[str, str, str]:
     return (type(exc).__module__, type(exc).__name__, str(exc))
 
 
-def worker_main(snapshot_dir: str, tasks, results) -> None:
+def worker_main(snapshot_dir: str, tasks: "Queue", results: "Queue") -> None:
     """Serve shards from ``tasks`` until the ``None`` sentinel arrives.
 
     Protocol (all messages tuples, first element a tag):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Side, Vertex
@@ -30,7 +30,7 @@ def check_thresholds(alpha: int, beta: int) -> None:
     check_positive_int(beta, "beta")
 
 
-def check_query_membership(contains, query: Vertex) -> Vertex:
+def check_query_membership(contains: Callable[[Vertex], bool], query: Vertex) -> Vertex:
     """Validate a query handle against an arbitrary membership test.
 
     The graph-free twin of :func:`check_query_vertex`, used by array-only

@@ -1,0 +1,1 @@
+"""numpy-guard fixture: every NPG rule fires somewhere in this package."""

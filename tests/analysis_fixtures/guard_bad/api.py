@@ -1,0 +1,7 @@
+"""Fallback entry point: importing a kernel module top-level is NPG002."""
+
+from guard_bad.kernels import add
+
+
+def entry(a, b):
+    return add(a, b)

@@ -1,0 +1,7 @@
+"""Not a kernel module: the unguarded top-level numpy import is NPG001."""
+
+import numpy as np
+
+
+def double(values):
+    return np.multiply(values, 2)

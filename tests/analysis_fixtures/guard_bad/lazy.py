@@ -1,0 +1,7 @@
+"""Function-local numpy import: NPG003."""
+
+
+def scale(values, factor):
+    import numpy as np
+
+    return np.multiply(values, factor)

@@ -1,0 +1,1 @@
+"""numpy-guard fixture: the clean analog of ``guard_bad``."""

@@ -1,0 +1,9 @@
+"""The guard module: the package's single HAS_NUMPY decision point."""
+
+try:
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised on the fallback matrix
+    np = None
+    HAS_NUMPY = False

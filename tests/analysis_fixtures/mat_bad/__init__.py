@@ -1,0 +1,1 @@
+"""materialisation fixture: the entry point reaches every banned form."""

@@ -1,0 +1,13 @@
+"""Entry point whose helper reaches every kind of banned assembly."""
+
+from mat_bad.graph import BipartiteGraph, _graph_from_edge_arrays
+
+
+def entry(src, dst, weight):
+    return _assemble(src, dst, weight)
+
+
+def _assemble(src, dst, weight):
+    graph = BipartiteGraph()
+    graph.thaw()
+    return _graph_from_edge_arrays(src, dst, weight)

@@ -1,0 +1,1 @@
+"""materialisation fixture: clean array-native analog of ``mat_bad``."""

@@ -1,0 +1,9 @@
+"""Zero-materialisation query path: arrays in, edge positions out."""
+
+
+def entry(src, dst, weight, threshold):
+    return _filter(src, dst, weight, threshold)
+
+
+def _filter(src, dst, weight, threshold):
+    return [e for e, w in enumerate(weight) if w >= threshold]

@@ -1,0 +1,1 @@
+"""snapshot-dtype fixture: every SNAP rule fires in ``store``."""

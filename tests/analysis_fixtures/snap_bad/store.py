@@ -1,0 +1,36 @@
+"""Seeded snapshot-hygiene violations, one block per SNAP rule."""
+
+import numpy as np
+
+from snap_bad.io import patch_level_arrays, segment
+
+
+def bad_dtypes(values):
+    a = np.asarray(values, dtype=int)
+    b = a.astype("long")
+    return a, b, np.zeros(3, dtype=np.intp)
+
+
+def bad_bare_except(path):
+    try:
+        return path.read_bytes()
+    except:
+        pass
+
+
+def bad_silent_except(path):
+    try:
+        return path.read_bytes()
+    except Exception:
+        pass
+
+
+def bad_mapped_write(buffer):
+    arr = segment(buffer)
+    arr[0] = 1
+    arr[1] += 1
+    return arr
+
+
+def bad_patch(arrays, gids, counts):
+    return patch_level_arrays(arrays, gids, counts)

@@ -1,0 +1,1 @@
+"""snapshot-dtype fixture: the clean analog of ``snap_bad``."""

@@ -1,0 +1,9 @@
+"""Stand-ins for the mapped-segment factories of the real snapshot store."""
+
+
+def segment(buffer):
+    return memoryview(buffer)
+
+
+def patch_level_arrays(arrays, gids, counts, allow_in_place=True):
+    return arrays

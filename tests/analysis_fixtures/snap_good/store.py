@@ -1,0 +1,32 @@
+"""Clean snapshot module: fixed-width dtypes, logged failures, copies."""
+
+import logging
+
+import numpy as np
+
+from snap_good.io import patch_level_arrays, segment
+
+_logger = logging.getLogger(__name__)
+
+
+def good_dtypes(values):
+    a = np.asarray(values, dtype=np.int64)
+    return a.astype("<f8")
+
+
+def good_except(path):
+    try:
+        return path.read_bytes()
+    except OSError as exc:
+        _logger.warning("segment read failed: %r", exc)
+        return None
+
+
+def good_write(buffer):
+    arr = segment(buffer).copy()
+    arr[0] = 1
+    return arr
+
+
+def good_patch(arrays, gids, counts):
+    return patch_level_arrays(arrays, gids, counts, allow_in_place=False)

@@ -1,0 +1,1 @@
+"""twin-parity fixture: one pair per TWIN rule plus aligned pairs."""

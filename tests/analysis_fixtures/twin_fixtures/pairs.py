@@ -1,0 +1,59 @@
+"""Function pairs the twin-parity tests register one at a time."""
+
+
+def kernel_ok(values, offset, scale=2.0):
+    """Kernel side of the aligned pair.
+
+    Contract: shift each value by offset, then scale.
+    """
+
+
+def twin_ok(values, offset, scale=2.0):
+    """Twin side of the aligned pair.
+
+    Contract: shift each value by offset, then scale.
+    """
+
+
+def kernel_alias(values, num_u):
+    """Contract: alias pair."""
+
+
+def twin_alias(values, num_upper):
+    """Contract: alias pair."""
+
+
+def kernel_repr(csr, values):
+    """Contract: representation pair."""
+
+
+def twin_repr(values, lists):
+    """Contract: representation pair."""
+
+
+def kernel_params(values, offset):
+    """Contract: params pair."""
+
+
+def twin_params(values, delta):
+    """Contract: params pair."""
+
+
+def kernel_default(values, scale=2.0):
+    """Contract: default pair."""
+
+
+def twin_default(values, scale=3.0):
+    """Contract: default pair."""
+
+
+def kernel_contract(values):
+    """Contract: the kernel's reading of the semantics."""
+
+
+def twin_contract(values):
+    """Contract: the twin's divergent reading of the semantics."""
+
+
+def kernel_missing(values):
+    """Contract: missing pair."""
