@@ -1,6 +1,6 @@
 """User-facing command line interface: ``python -m repro``.
 
-Six subcommands:
+Seven subcommands:
 
 ``search``
     Run a significant (α,β)-community query against a registry dataset, a
@@ -17,12 +17,14 @@ Six subcommands:
     Print summary statistics (sizes, degeneracy, α_max / β_max) of a dataset
     or edge-list file.
 
-``snapshot``
+``snapshot`` (alias ``build``)
     Build the degeneracy index of a graph and persist it in the mmap-able
     snapshot format, so later invocations (and serving fleets) reopen it
-    near-instantly::
+    near-instantly; ``--jobs N`` shards the CSR build's per-level passes
+    across worker processes::
 
         python -m repro snapshot --dataset ML --out snapshots/ml
+        python -m repro build --dataset ML --out snapshots/ml --jobs 4
 
 ``update``
     Apply a file of edge insertions / removals to a saved index through the
@@ -33,6 +35,14 @@ Six subcommands:
 
     The ops file holds one ``insert <upper> <lower> [weight]`` or
     ``remove <upper> <lower>`` per line (``+`` / ``-`` work as aliases).
+    ``--max-chain-len N`` auto-compacts the delta chain when it reaches
+    ``N`` segments.
+
+``compact``
+    Fold a snapshot's delta chain into a fresh base generation, so cold
+    start stops paying the chain replay::
+
+        python -m repro compact --snapshot snapshots/ml
 
 ``stats``
     Print the stored statistics of a saved index or snapshot, including the
@@ -106,7 +116,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(info)
 
     snapshot = sub.add_parser(
-        "snapshot", help="build an index and persist it as an mmap-able snapshot"
+        "snapshot",
+        aliases=["build"],
+        help="build an index and persist it as an mmap-able snapshot",
     )
     _add_graph_arguments(snapshot)
     snapshot.add_argument("--out", type=str, required=True, help="snapshot directory to write")
@@ -115,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "dict", "csr"],
         default="auto",
         help="index construction backend",
+    )
+    snapshot.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the CSR build's per-level passes",
     )
 
     update = sub.add_parser(
@@ -137,6 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="where to save the updated index (default: back onto --index)",
     )
+    update.add_argument(
+        "--max-chain-len",
+        type=int,
+        default=None,
+        help="auto-compact the snapshot's delta chain when it reaches this length",
+    )
+
+    compact = sub.add_parser(
+        "compact", help="fold a snapshot's delta chain into a fresh base"
+    )
+    compact.add_argument("--snapshot", type=str, required=True, help="snapshot directory")
 
     stats = sub.add_parser(
         "stats", help="print the stored statistics of a saved index or snapshot"
@@ -248,7 +277,7 @@ def _run_snapshot(args: argparse.Namespace) -> int:
     from repro.serving.snapshot import save_snapshot
 
     graph = _load_graph(args)
-    index = DegeneracyIndex(graph, backend=args.backend)
+    index = DegeneracyIndex(graph, backend=args.backend, n_jobs=args.jobs)
     directory = save_snapshot(index, args.out)
     stats = index.stats()
     total = sum(f.stat().st_size for f in directory.iterdir() if f.is_file())
@@ -256,6 +285,7 @@ def _run_snapshot(args: argparse.Namespace) -> int:
     print(f"graph      : {graph.name or '(unnamed)'} "
           f"({graph.num_upper} / {graph.num_lower} / {graph.num_edges})")
     print(f"backend    : {index.backend}")
+    print(f"jobs       : {args.jobs}")
     print(f"delta      : {index.delta}")
     print(f"entries    : {stats.entries}")
     print(f"bytes      : {total}")
@@ -334,6 +364,8 @@ def _run_update(args: argparse.Namespace) -> int:
 
     ops = _parse_ops_file(args.ops)
     dynamic = _open_maintainable_index(args.index)
+    if args.max_chain_len is not None:
+        dynamic.max_chain_len = args.max_chain_len
     applied = skipped = 0
     for kind, upper_label, lower_label, weight in ops:
         if kind == "insert":
@@ -378,6 +410,24 @@ def _run_stats(args: argparse.Namespace) -> int:
         from repro.serving.snapshot import snapshot_version
 
         print(f"{'snapshot_version':<24}: base + {snapshot_version(args.index)} delta segment(s)")
+    return 0
+
+
+def _run_compact(args: argparse.Namespace) -> int:
+    from repro.serving.compaction import compact_snapshot
+
+    try:
+        report = compact_snapshot(args.snapshot)
+    except OSError as error:
+        raise ReproError(f"cannot open snapshot {args.snapshot}: {error}") from error
+    print(f"snapshot   : {report.directory}")
+    if not report.compacted:
+        print("chain      : empty; nothing to fold")
+        return 0
+    print(f"folded     : {report.folded_deltas} delta segment(s)")
+    print(f"base       : {report.previous_id} -> {report.snapshot_id}")
+    print(f"bytes      : {report.bytes_before} -> {report.bytes_after}")
+    print(f"seconds    : {report.seconds:.3f}")
     return 0
 
 
@@ -453,10 +503,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "info":
             return _run_info(args)
-        if args.command == "snapshot":
+        if args.command in ("snapshot", "build"):
             return _run_snapshot(args)
         if args.command == "update":
             return _run_update(args)
+        if args.command == "compact":
+            return _run_compact(args)
         if args.command == "stats":
             return _run_stats(args)
         if args.command == "serve":

@@ -20,6 +20,7 @@ from repro.analysis.core import AnalysisConfig, TwinPair
 KERNEL_MODULES = (
     "repro.decomposition.csr_kernels",
     "repro.index.csr_build",
+    "repro.index.parallel_build",
 )
 
 #: Entry modules of the dict/no-numpy fallback path.  The no-numpy CI job
@@ -107,6 +108,11 @@ TWIN_REGISTRY = (
         twin="repro.index.maintenance:DynamicDegeneracyIndex._apply_level_patch",
         signature=False,
     ),
+    TwinPair(
+        kernel="repro.index.parallel_build:_parallel_payloads",
+        twin="repro.index.parallel_build:_sequential_payloads",
+        kernel_only=("jobs",),
+    ),
 )
 
 #: Entry points of the zero-materialisation contract: the array/snapshot
@@ -162,6 +168,7 @@ MATERIALISATION_PRUNED = {
 #: platform-dependent ones are not).
 SNAPSHOT_MODULES = (
     "repro.serving.snapshot",
+    "repro.serving.compaction",
     "repro.index.csr_build",
     "repro.index.serialization",
 )

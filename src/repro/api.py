@@ -63,8 +63,9 @@ class CommunitySearcher:
     ``backend`` selects the engine used to build the index when one is not
     supplied: ``"dict"`` (label-level adjacency), ``"csr"`` (frozen integer
     arrays with vectorised peeling kernels) or ``"auto"`` (CSR once the graph
-    is large enough to amortise the freeze).  Query results are identical
-    across backends.
+    is large enough to amortise the freeze).  ``n_jobs`` shards the CSR
+    build's per-level passes across worker processes.  Query results are
+    identical across backends and worker counts.
     """
 
     def __init__(
@@ -72,13 +73,14 @@ class CommunitySearcher:
         graph: Optional[BipartiteGraph] = None,
         index: Optional[DegeneracyIndex] = None,
         backend: str = "auto",
+        n_jobs: int = 1,
     ) -> None:
         if index is None:
             if graph is None:
                 raise InvalidParameterError(
                     "CommunitySearcher needs a graph to index or a prebuilt index"
                 )
-            index = DegeneracyIndex(graph, backend=backend)
+            index = DegeneracyIndex(graph, backend=backend, n_jobs=n_jobs)
         self._graph = graph
         self._index = index
 

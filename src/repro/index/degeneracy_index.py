@@ -58,11 +58,23 @@ class DegeneracyIndex(CommunityIndex):
     identical index structures, so queries (and the incremental maintenance
     in :class:`~repro.index.maintenance.DynamicDegeneracyIndex`) are
     backend-agnostic.
+
+    ``n_jobs`` shards the CSR backend's per-level construction passes across
+    a process pool (see :mod:`repro.index.parallel_build`); every worker
+    count — including the dict backend and the no-numpy fallback, which run
+    sequentially regardless — produces element-wise identical structures.
     """
 
-    def __init__(self, graph: BipartiteGraph, backend: str = "auto") -> None:
+    def __init__(
+        self, graph: BipartiteGraph, backend: str = "auto", n_jobs: int = 1
+    ) -> None:
         super().__init__(graph)
+        if isinstance(n_jobs, bool) or not isinstance(n_jobs, int) or n_jobs < 1:
+            raise InvalidParameterError(
+                f"n_jobs must be a positive integer, got {n_jobs!r}"
+            )
         self._backend = resolve_backend(backend, graph)
+        self._n_jobs = n_jobs
         self._delta = 0
         self._alpha_lists: Dict[int, AdjacencyLists] = {}
         self._beta_lists: Dict[int, AdjacencyLists] = {}
@@ -70,6 +82,7 @@ class DegeneracyIndex(CommunityIndex):
         self._beta_offsets: Dict[int, Dict[Vertex, int]] = {}
         self._array_path: Optional[ArrayQueryPath] = None
         self._build_seconds = 0.0
+        self._build_extra: Dict[str, float] = {}
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -92,66 +105,50 @@ class DegeneracyIndex(CommunityIndex):
         arrays: as the dict adjacency lists every query and maintenance code
         path understands, and as the flat :class:`LevelArrays` the array
         query path consumes — so batch queries never pay a conversion.
+
+        The per-level array passes come from
+        :func:`~repro.index.parallel_build.compute_level_payloads` (sharded
+        across processes when ``n_jobs > 1``); assembly of the dict/handle
+        structures always happens here, in increasing τ order, so the built
+        index is identical for every worker count.
         """
-        from repro.decomposition.csr_kernels import (
-            csr_degeneracy,
-            csr_offsets_fixed_primary,
-        )
+        from repro.decomposition.csr_kernels import csr_degeneracy
         from repro.graph.csr import freeze
         from repro.index.csr_build import (
             assemble_sorted_adjacency,
             build_level_arrays,
-            edge_sources,
-            level_side_entries,
         )
+        from repro.index.parallel_build import compute_level_payloads
 
         csr = freeze(self._graph)
         self._delta = csr_degeneracy(csr)
-        src_upper = edge_sources(csr, Side.UPPER)
-        src_lower = edge_sources(csr, Side.LOWER)
+        payloads, self._build_extra = compute_level_payloads(
+            csr, self._delta, self._n_jobs
+        )
         path = ArrayQueryPath(
             csr.upper_labels, csr.lower_labels, global_ids=csr.global_id_map()
         )
-        for tau in range(1, self._delta + 1):
-            sa_u, sa_l = csr_offsets_fixed_primary(csr, Side.UPPER, tau)
-            sb_u, sb_l = csr_offsets_fixed_primary(csr, Side.LOWER, tau)
+        for payload in payloads:
+            tau = payload.tau
+            sa_u, sa_l = payload.alpha_upper, payload.alpha_lower
+            sb_u, sb_l = payload.beta_upper, payload.beta_lower
             self._alpha_offsets[tau] = offsets_dict_from_arrays(csr, sa_u, sa_l)
             self._beta_offsets[tau] = offsets_dict_from_arrays(csr, sb_u, sb_l)
             member_upper = sa_u >= tau
             member_lower = sa_l >= tau
-            alpha_entries = level_side_entries(
-                csr,
-                member_upper,
-                member_lower,
-                sa_u,
-                sa_l,
-                tau,
-                strict=False,
-                src_upper=src_upper,
-                src_lower=src_lower,
-            )
-            beta_entries = level_side_entries(
-                csr,
-                member_upper,
-                member_lower,
-                sb_u,
-                sb_l,
-                tau,
-                strict=True,
-                src_upper=src_upper,
-                src_lower=src_lower,
-            )
             self._alpha_lists[tau] = assemble_sorted_adjacency(
-                csr, member_upper, member_lower, True, alpha_entries
+                csr, member_upper, member_lower, True, payload.alpha_entries
             )
             self._beta_lists[tau] = assemble_sorted_adjacency(
-                csr, member_upper, member_lower, False, beta_entries
+                csr, member_upper, member_lower, False, payload.beta_entries
             )
             path.set_level(
-                ("alpha", tau), build_level_arrays(csr, sa_u, sa_l, alpha_entries)
+                ("alpha", tau),
+                build_level_arrays(csr, sa_u, sa_l, payload.alpha_entries),
             )
             path.set_level(
-                ("beta", tau), build_level_arrays(csr, sb_u, sb_l, beta_entries)
+                ("beta", tau),
+                build_level_arrays(csr, sb_u, sb_l, payload.beta_entries),
             )
         self._array_path = path
 
@@ -414,10 +411,13 @@ class DegeneracyIndex(CommunityIndex):
         lists = sum(len(level) for level in self._alpha_lists.values()) + sum(
             len(level) for level in self._beta_lists.values()
         )
+        extra = {"delta": float(self._delta)}
+        # Old pickled indexes predate the build metrics; default them away.
+        extra.update(getattr(self, "_build_extra", {}))
         return IndexStats(
             name="Idelta",
             entries=entries,
             adjacency_lists=lists,
             build_seconds=self._build_seconds,
-            extra={"delta": float(self._delta)},
+            extra=extra,
         )

@@ -419,20 +419,30 @@ class MaintenanceJournal:
 # the maintained index
 # --------------------------------------------------------------------------- #
 class DynamicDegeneracyIndex(DegeneracyIndex):
-    """A :class:`DegeneracyIndex` that absorbs edge updates by region patching."""
+    """A :class:`DegeneracyIndex` that absorbs edge updates by region patching.
+
+    ``max_chain_len`` is the optional auto-compaction policy: when set, a
+    ``save_index(..., format="snapshot")`` that grows the on-disk delta chain
+    to that length immediately folds it into a fresh base
+    (:func:`repro.serving.compaction.compact_snapshot`) and re-binds the
+    journal, so cold-start replay cost stays bounded under sustained churn.
+    """
 
     def __init__(
         self,
         graph: BipartiteGraph,
         backend: str = "auto",
         region_budget: int = DEFAULT_REGION_BUDGET,
+        n_jobs: int = 1,
+        max_chain_len: Optional[int] = None,
     ) -> None:
         # Index a private copy so external mutation of the original graph
         # cannot silently desynchronise the index.  Either construction
         # backend works: both produce the same dict structures this class
         # patches during maintenance.
-        super().__init__(graph.copy(), backend=backend)
+        super().__init__(graph.copy(), backend=backend, n_jobs=n_jobs)
         self._region_budget = region_budget
+        self.max_chain_len = max_chain_len
         self._finish_init()
 
     def _finish_init(self) -> None:
@@ -466,16 +476,21 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         self._arrays_patched = 0
         self._arrays_invalidated = 0
         self._arrays_dropped = 0
+        self._compactions = 0
+        self._deltas_folded = 0
 
     @classmethod
-    def from_snapshot(cls, snapshot: "SnapshotIndex") -> "DynamicDegeneracyIndex":
+    def from_snapshot(
+        cls, snapshot: "SnapshotIndex", max_chain_len: Optional[int] = None
+    ) -> "DynamicDegeneracyIndex":
         """Reopen a persisted snapshot as a mutable, maintainable index.
 
         The dict stores are reconstructed from the snapshot's flat level
         arrays (one linear pass per level — no from-scratch peel), and the
         journal is bound to the snapshot's directory so the next
         ``save_index(..., format="snapshot")`` to the same directory appends
-        a delta instead of rewriting the base.
+        a delta instead of rewriting the base.  ``max_chain_len`` installs
+        the auto-compaction policy, as in the constructor.
         """
         from repro.graph.csr import resolve_backend
         from repro.index.csr_build import level_dicts_from_arrays
@@ -485,8 +500,10 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         # Manual field initialisation: DegeneracyIndex.__init__ would trigger
         # a full rebuild, which from_snapshot exists to avoid.
         self._region_budget = DEFAULT_REGION_BUDGET
+        self.max_chain_len = max_chain_len
         self._graph = graph
         self._backend = resolve_backend("auto", graph)
+        self._n_jobs = 1
         self._delta = snapshot.delta
         self._alpha_lists = {}
         self._beta_lists = {}
@@ -494,6 +511,7 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
         self._beta_offsets = {}
         self._array_path = None
         self._build_seconds = 0.0
+        self._build_extra = {}
         handles = snapshot.global_handles()
         alive = [
             handle
@@ -1122,6 +1140,19 @@ class DynamicDegeneracyIndex(DegeneracyIndex):
                 "arrays_patch_hit_rate": (
                     self._arrays_patched / patch_attempts if patch_attempts else 1.0
                 ),
+                "chain_length": float(self._journal.base_sequence),
+                "compactions": float(self._compactions),
+                "deltas_folded": float(self._deltas_folded),
             }
         )
         return stats
+
+    def note_compaction(self, folded_deltas: int) -> None:
+        """Record an auto-compaction of this index's snapshot directory.
+
+        Called by :func:`repro.index.serialization.save_index` after a
+        policy-triggered fold so ``stats().extra`` reports how many
+        compactions ran and how many delta segments they absorbed.
+        """
+        self._compactions += 1
+        self._deltas_folded += folded_deltas

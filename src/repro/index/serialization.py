@@ -83,7 +83,11 @@ def save_index(
     stayed inside the base's vertex id space, only a delta segment describing
     the patched level slices is appended
     (:func:`repro.serving.snapshot.save_snapshot_delta`); otherwise a fresh
-    full base is written and the old delta chain is cleared.
+    full base is written and the old delta chain is cleared.  When the index
+    carries a ``max_chain_len`` auto-compaction policy and the append grows
+    the chain to that length, the chain is folded into a fresh base on the
+    spot (:func:`repro.serving.compaction.compact_snapshot`) and the journal
+    re-bound to it.
     """
     if format not in SAVE_FORMATS:
         raise InvalidParameterError(
@@ -101,7 +105,9 @@ def save_index(
         ):
             if not journal.has_changes:
                 return directory  # nothing new since the last segment
-            return save_snapshot_delta(index, directory)
+            save_snapshot_delta(index, directory)
+            _maybe_auto_compact(index, directory)
+            return directory
         return save_snapshot(index, path)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -119,6 +125,27 @@ def save_index(
     with open(index_stats_path(path), "w", encoding="utf-8") as handle:
         json.dump(sidecar, handle, indent=2, sort_keys=True)
     return path
+
+
+def _maybe_auto_compact(index: CommunityIndex, directory: Path) -> None:
+    """Apply the index's ``max_chain_len`` policy after a delta append.
+
+    Compacting right after the append is the one moment the writer is known
+    to have no pending changes, so folding the chain and re-binding the
+    journal cannot lose updates.
+    """
+    policy = getattr(index, "max_chain_len", None)
+    if not policy:
+        return
+    from repro.serving.compaction import compact_snapshot
+    from repro.serving.snapshot import snapshot_version
+
+    if snapshot_version(directory) < int(policy):
+        return
+    report = compact_snapshot(directory, journal=index.journal)
+    note = getattr(index, "note_compaction", None)
+    if note is not None:
+        note(report.folded_deltas)
 
 
 def load_index(path: PathLike) -> CommunityIndex:

@@ -25,6 +25,16 @@ read-only and shared, any number of processes can reopen the same snapshot
 and the OS keeps a single physical copy of the pages — the foundation of the
 multi-process :class:`~repro.serving.server.CommunityServer`.
 
+Maintained indexes append ``delta-NNNNN.json``/``.bin`` chain segments
+(:func:`save_snapshot_delta`) that the loader replays in sequence;
+:func:`repro.serving.compaction.compact_snapshot` periodically folds the base
+plus its chain into a fresh *generation* (``arrays-<gen>.bin`` /
+``labels-<gen>.*``) swapped in by one atomic manifest replace.  The manifest
+names its data and label files explicitly, and after a compaction carries a
+``compacted`` record naming the folded base — so delta segments a crashed
+compaction cleanup left behind are recognised and skipped instead of
+corrupting the chain.
+
 Requires numpy; dict-backend deployments without numpy keep using the pickle
 format via :func:`repro.index.serialization.save_index`.
 """
@@ -32,6 +42,7 @@ format via :func:`repro.index.serialization.save_index`.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 from pathlib import Path
 from typing import (
@@ -130,27 +141,41 @@ def _write_segment_file(
     numpy array (stored raw little-endian) or ``("pickle", obj)`` for the few
     non-array payloads of the delta format (ops and removed-vertex handles,
     whose labels are arbitrary hashables).
+
+    Crash-safe: segments are staged to a ``.tmp`` sibling and renamed into
+    place only once every byte is written and flushed, so a process dying
+    mid-save never leaves a torn file under the final name — at worst an
+    ignorable ``.tmp`` orphan.  (The manifest referencing the file is written
+    afterwards, and atomically, by the callers.)
     """
     segments: Dict[str, Dict[str, object]] = {}
     offset = 0
-    with open(path, "wb") as handle:
-        for name, payload in items:
-            padding = (-offset) % _ALIGNMENT
-            if padding:
-                handle.write(b"\0" * padding)
-                offset += padding
-            if isinstance(payload, tuple) and payload[0] == "pickle":
-                data = pickle.dumps(payload[1], protocol=pickle.HIGHEST_PROTOCOL)
-                record: Dict[str, object] = {"encoding": "pickle"}
-            else:
-                array = _little_endian(np.ascontiguousarray(payload))
-                data = array.tobytes()
-                record = {"dtype": array.dtype.str, "shape": list(array.shape)}
-            handle.write(data)
-            record["offset"] = offset
-            record["nbytes"] = len(data)
-            segments[name] = record
-            offset += len(data)
+    staging = path.with_name(path.name + ".tmp")
+    try:
+        with open(staging, "wb") as handle:
+            for name, payload in items:
+                padding = (-offset) % _ALIGNMENT
+                if padding:
+                    handle.write(b"\0" * padding)
+                    offset += padding
+                if isinstance(payload, tuple) and payload[0] == "pickle":
+                    data = pickle.dumps(payload[1], protocol=pickle.HIGHEST_PROTOCOL)
+                    record: Dict[str, object] = {"encoding": "pickle"}
+                else:
+                    array = _little_endian(np.ascontiguousarray(payload))
+                    data = array.tobytes()
+                    record = {"dtype": array.dtype.str, "shape": list(array.shape)}
+                handle.write(data)
+                record["offset"] = offset
+                record["nbytes"] = len(data)
+                segments[name] = record
+                offset += len(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        staging.unlink(missing_ok=True)
+        raise
+    staging.replace(path)
     return segments, offset
 
 
@@ -198,6 +223,11 @@ def save_snapshot(index: CommunityIndex, directory: PathLike) -> Path:
     for stale in directory.glob(DELTA_GLOB):
         stale.unlink(missing_ok=True)
         stale.with_suffix(".bin").unlink(missing_ok=True)
+    # A full rewrite uses the canonical file names, so compaction-generation
+    # files from the directory's previous life are orphans — drop them too.
+    for pattern in ("arrays-*.bin", "labels-*.json", "labels-*.pkl"):
+        for stale in directory.glob(pattern):
+            stale.unlink(missing_ok=True)
 
     graph = index.graph
     csr = freeze(graph)
@@ -469,8 +499,52 @@ def delta_paths(directory: PathLike) -> List[Path]:
 
 
 def snapshot_version(directory: PathLike) -> int:
-    """The snapshot's version: the number of delta segments after the base."""
-    return len(delta_paths(directory))
+    """The snapshot's version: the number of *live* delta segments.
+
+    Live means appended to the directory's current base; segments already
+    folded into the base by a compaction (and merely awaiting cleanup) do
+    not count, so the version resets to 0 when a compaction lands.
+    """
+    directory = Path(directory)
+    return len(_live_chain(directory, _read_manifest(directory)))
+
+
+def _live_chain(directory: Path, manifest: Dict) -> List[Tuple[Path, Dict]]:
+    """Classify the on-disk delta files against ``manifest``'s base.
+
+    Returns the live chain — segments whose ``base_id`` is the manifest's
+    ``snapshot_id`` — as ``(path, delta manifest)`` pairs in sequence order.
+    Segments matching the manifest's ``compacted`` record instead were
+    already folded into this base by a compaction whose cleanup did not
+    finish; they are skipped, and because the compactor deletes from the
+    tail, a live segment after a folded one is impossible in any crash
+    window — finding one (or a segment of any other base) raises
+    :class:`IndexConsistencyError`.
+    """
+    base_id = manifest.get("snapshot_id")
+    folded = manifest.get("compacted") or {}
+    live: List[Tuple[Path, Dict]] = []
+    folded_seen = False
+    for position, path in enumerate(delta_paths(directory), start=1):
+        delta_manifest = _read_delta_manifest(directory, path, None, position)
+        delta_base = delta_manifest.get("base_id")
+        if delta_base == base_id:
+            if folded_seen:
+                raise _corrupt(
+                    directory,
+                    f"live delta segment {path.name} follows an already-folded one",
+                )
+            live.append((path, delta_manifest))
+        elif delta_base == folded.get("base_id") and position <= int(
+            folded.get("sequence", 0)
+        ):
+            folded_seen = True
+        else:
+            raise IndexConsistencyError(
+                f"delta segment {path} belongs to a different base snapshot "
+                f"({delta_base!r})"
+            )
+    return live
 
 
 def _read_delta_manifest(directory: Path, path: Path, base_id: Optional[str], sequence: int) -> Dict:
@@ -556,15 +630,13 @@ def load_snapshot(directory: PathLike) -> "SnapshotIndex":
                 **{field: segment(f"{prefix}/{field}") for field in _LEVEL_FIELDS},
             )
 
-    base_id = manifest.get("snapshot_id")
     pending_ops: List[Tuple] = []
     removed: set = set()
     version = 0
     graph_info: Optional[Dict] = None
     index_info: Optional[Dict] = None
-    for path in delta_paths(directory):
+    for path, delta_manifest in _live_chain(directory, manifest):
         version += 1
-        delta_manifest = _read_delta_manifest(directory, path, base_id, version)
         read = _segment_reader(directory, delta_manifest, path.with_suffix(".bin").name)
         for spec in delta_manifest.get("full_levels", ()):
             half, tau = _parse_level_key(directory, spec)

@@ -280,6 +280,71 @@ class TestCorruption:
             delta_paths(target)
 
 
+class TestTornWrites:
+    """The crash-safe segment writer: torn writes never corrupt a reader."""
+
+    def test_interrupted_write_leaves_no_file(self, tmp_path):
+        import numpy as np
+
+        from repro.serving.snapshot import _write_segment_file
+
+        class Boom(RuntimeError):
+            pass
+
+        def items():
+            yield "ok", np.arange(8, dtype=np.int64)
+            raise Boom("process died mid-save")
+
+        target = tmp_path / "arrays.bin"
+        with pytest.raises(Boom):
+            _write_segment_file(target, items())
+        # Neither a torn final file nor a stale staging file survives.
+        assert not target.exists()
+        assert not target.with_name("arrays.bin.tmp").exists()
+
+    def test_orphan_tmp_file_is_ignored_by_readers(self, tmp_path):
+        dynamic = DynamicDegeneracyIndex(churn_graph(17), backend="dict")
+        target = tmp_path / "snap"
+        save_index(dynamic, target, format="snapshot")
+        apply_churn(dynamic, random.Random(18), 6)
+        save_index(dynamic, target, format="snapshot")
+        # A crash between staging and rename leaves only a `.tmp` sibling.
+        (target / "delta-00002.bin.tmp").write_bytes(b"\0" * 64)
+        assert snapshot_version(target) == 1
+        reopened = load_snapshot(target)
+        assert reopened.version == 1
+        assert_same_answers(reopened, dynamic, all_queries(dynamic.graph, dynamic.delta))
+
+    def test_orphan_data_without_manifest_is_ignored(self, tmp_path):
+        # The delta writer renames `delta-N.bin` into place before writing
+        # `delta-N.json`; dying in between leaves data with no manifest, which
+        # readers must treat as if the segment was never appended.
+        dynamic = DynamicDegeneracyIndex(churn_graph(19), backend="dict")
+        target = tmp_path / "snap"
+        save_index(dynamic, target, format="snapshot")
+        apply_churn(dynamic, random.Random(20), 6)
+        save_index(dynamic, target, format="snapshot")
+        data = (target / "delta-00001.bin").read_bytes()
+        (target / "delta-00002.bin").write_bytes(data)
+        assert snapshot_version(target) == 1
+        assert load_snapshot(target).version == 1
+
+    def test_fresh_save_over_torn_base_recovers(self, tmp_path):
+        # A base save that died mid-write leaves `.tmp` staging and stale
+        # generation files; a retried full save must produce a clean snapshot.
+        target = tmp_path / "snap"
+        target.mkdir()
+        (target / "arrays.bin.tmp").write_bytes(b"\0" * 32)
+        (target / "arrays-deadbeef0000.bin").write_bytes(b"junk")
+        dynamic = DynamicDegeneracyIndex(churn_graph(23), backend="dict")
+        save_index(dynamic, target, format="snapshot")
+        ok = load_snapshot(target)
+        assert ok.version == 0
+        assert ok.graph.same_structure(dynamic.graph)
+        assert not (target / "arrays.bin.tmp").exists()
+        assert not (target / "arrays-deadbeef0000.bin").exists()
+
+
 class TestServingReload:
     def test_reload_swaps_workers_onto_new_version(self, tmp_path):
         from repro.serving.server import CommunityServer
