@@ -50,17 +50,27 @@ Seven subcommands:
     rebuilt levels, candidate-region sizes, arrays-patch hit rate)::
 
         python -m repro stats --index snapshots/ml
+        python -m repro stats --frontend 127.0.0.1:7777
+
+    ``--frontend HOST:PORT`` asks a running network front end for its live
+    counters (answer cache hits, admission rejections, reloads) instead of
+    reading a snapshot from disk.
 
 ``serve``
     Answer a batch of queries over a snapshot with sharded worker
-    processes::
+    processes, or — with ``--port`` — stay up as a network front end::
 
         python -m repro serve --snapshot snapshots/ml --workers 4 --queries q.txt
         python -m repro serve --snapshot snapshots/ml --workers 2 --alpha 2 --beta 2 --sample 8
+        python -m repro serve --snapshot snapshots/ml --workers 4 --port 7777
 
     A queries file holds one ``<upper|lower> <label> <alpha> <beta>`` query
     per line; without one, ``--sample`` queries are drawn from the
-    (``--alpha``, ``--beta``)-core.
+    (``--alpha``, ``--beta``)-core.  The ``--port`` form answers
+    newline-delimited JSON requests until interrupted (Ctrl-C exits
+    cleanly, stopping the worker fleet); see ``docs/serving.md`` for the
+    protocol and the tuning flags (``--batch-window``, ``--cache-size``,
+    ``--max-pending``, ...).
 """
 
 from __future__ import annotations
@@ -170,8 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats", help="print the stored statistics of a saved index or snapshot"
     )
-    stats.add_argument(
-        "--index", type=str, required=True, help="saved index file or snapshot directory"
+    stats_source = stats.add_mutually_exclusive_group(required=True)
+    stats_source.add_argument(
+        "--index", type=str, help="saved index file or snapshot directory"
+    )
+    stats_source.add_argument(
+        "--frontend",
+        type=str,
+        metavar="HOST:PORT",
+        help="ask a running serving front end for its live statistics",
     )
 
     serve = sub.add_parser(
@@ -197,6 +214,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy for queries outside their core",
     )
     serve.add_argument("--max-print", type=int, default=20, help="per-query lines to print")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="run as a network front end on this TCP port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1", help="front-end bind address"
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="seconds the front end waits to fill a micro-batch",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=64, help="micro-batch size cap"
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="cross-batch answer cache capacity in components (0 disables)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission-control budget: pending requests before rejecting",
+    )
+    serve.add_argument(
+        "--watch-interval",
+        type=float,
+        default=1.0,
+        help="seconds between snapshot-change / worker-liveness checks",
+    )
     return parser
 
 
@@ -397,6 +450,8 @@ def _run_update(args: argparse.Namespace) -> int:
 
 
 def _run_stats(args: argparse.Namespace) -> int:
+    if args.frontend is not None:
+        return _run_stats_frontend(args.frontend)
     from repro.index.serialization import load_index
 
     try:
@@ -410,6 +465,33 @@ def _run_stats(args: argparse.Namespace) -> int:
         from repro.serving.snapshot import snapshot_version
 
         print(f"{'snapshot_version':<24}: base + {snapshot_version(args.index)} delta segment(s)")
+    return 0
+
+
+def _run_stats_frontend(address: str) -> int:
+    from repro.serving.frontend import FrontendClient
+
+    host, _, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(f"--frontend expects HOST:PORT, got {address!r}") from None
+    if not host:
+        host = "127.0.0.1"
+    try:
+        with FrontendClient(host, port, timeout=30.0) as client:
+            reply = client.stats()
+    except OSError as error:
+        raise ReproError(f"cannot reach front end at {address}: {error}") from error
+    if not reply.get("ok"):
+        raise ReproError(f"front end returned an error: {reply.get('error')}")
+    stats = reply["stats"]
+    print(f"index      : {stats['name']}")
+    print(f"entries    : {stats['entries']}")
+    print(f"lists      : {stats['adjacency_lists']}")
+    print(f"build [s]  : {stats['build_seconds']:.3f}")
+    for key in sorted(stats["extra"]):
+        print(f"{key:<24}: {stats['extra'][key]:g}")
     return 0
 
 
@@ -455,7 +537,38 @@ def _parse_query_file(path: str) -> List[BatchQuery]:
     return queries
 
 
+def _run_serve_frontend(args: argparse.Namespace) -> int:
+    from repro.serving.frontend import ServingFrontend
+
+    def on_ready(frontend: "ServingFrontend") -> None:
+        pids = ", ".join(str(pid) for pid in frontend.worker_pids())
+        print(
+            f"serving frontend on {frontend.host}:{frontend.port} "
+            f"({frontend.fleet.num_workers} workers: {pids})",
+            flush=True,
+        )
+
+    frontend = ServingFrontend(
+        args.snapshot,
+        host=args.host,
+        port=args.port,
+        num_workers=args.workers,
+        batch_window=args.batch_window,
+        max_batch=args.batch_max,
+        max_pending=args.max_pending,
+        cache_entries=args.cache_size,
+        watch_interval=args.watch_interval,
+    )
+    # run() blocks until interrupted; Ctrl-C stops the fleet (terminating
+    # the forked workers and closing the listener) before returning.
+    frontend.run(on_ready=on_ready)
+    print("interrupted; serving stopped", file=sys.stderr)
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        return _run_serve_frontend(args)
     from repro.serving.server import CommunityServer
     from repro.serving.snapshot import load_snapshot
 
@@ -517,6 +630,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # A long-running command (the serving front end) ends its life by
+        # Ctrl-C; by this point the fleet is already stopped, so interruption
+        # is a clean exit, not an error.
+        print("interrupted", file=sys.stderr)
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

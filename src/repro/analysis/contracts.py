@@ -175,7 +175,10 @@ SNAPSHOT_MODULES = (
 
 #: Modules where broad silent exception swallows are banned (SNAP002).
 SNAPSHOT_EXCEPTION_MODULES = SNAPSHOT_MODULES + (
+    "repro.serving.answer_cache",
+    "repro.serving.frontend",
     "repro.serving.server",
+    "repro.serving.supervisor",
     "repro.serving.worker",
     "repro.serving.wire",
 )

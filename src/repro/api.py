@@ -246,6 +246,8 @@ class CommunitySearcher:
         num_workers: Optional[int] = None,
         snapshot_dir: Optional[str] = None,
         start_method: Optional[str] = None,
+        cache_entries: int = 0,
+        supervised: bool = False,
     ) -> "CommunityServer":
         """Snapshot the index and return a multi-process ``CommunityServer``.
 
@@ -260,10 +262,16 @@ class CommunitySearcher:
 
         With ``snapshot_dir`` the snapshot is written there and left behind
         for future cold starts; otherwise a temporary directory is used and
-        removed when the server stops.  Requires numpy.
+        removed when the server stops.  ``cache_entries > 0`` gives every
+        worker a cross-batch answer cache of that capacity;
+        ``supervised=True`` returns a
+        :class:`~repro.serving.supervisor.SupervisedCommunityServer`, which
+        respawns crashed workers instead of failing the batch.  Requires
+        numpy.
         """
         from repro.serving.server import CommunityServer
         from repro.serving.snapshot import SnapshotIndex, save_snapshot
+        from repro.serving.supervisor import SupervisedCommunityServer
 
         cleanup = False
         if isinstance(self._index, SnapshotIndex):
@@ -290,11 +298,13 @@ class CommunitySearcher:
                 shutil.rmtree(directory, ignore_errors=True)
                 raise
             cleanup = True
-        return CommunityServer(
+        server_cls = SupervisedCommunityServer if supervised else CommunityServer
+        return server_cls(
             directory,
             num_workers=num_workers,
             start_method=start_method,
             cleanup_snapshot=cleanup,
+            cache_entries=cache_entries,
         )
 
     # ------------------------------------------------------------------ #

@@ -70,5 +70,15 @@ class ServingError(ReproError):
     """
 
 
+class OverloadedError(ServingError):
+    """Raised when the serving front end rejects a query under load.
+
+    The network front end admission-controls incoming streams with a bounded
+    pending-request budget; once the budget is exhausted new queries are
+    rejected immediately with this error instead of queueing without bound.
+    Clients should treat it as a retryable backpressure signal.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated or parsed."""

@@ -394,12 +394,15 @@ class ArrayQueryPath:
     ) -> BipartiteGraph:
         """Array-path retrieval; the caller has already checked membership.
 
-        ``cache`` (a plain dict scoped to one batch call) memoises whole
-        connected components: an (α,β)-community is the component of the
-        query vertex, so every later query landing in an already-retrieved
-        component at the same ``(key, requirement)`` gets an O(answer) copy
-        instead of a fresh traversal.  Copies keep results independent — a
-        caller mutating one answer cannot corrupt another.
+        ``cache`` memoises whole connected components: an (α,β)-community is
+        the component of the query vertex, so every later query landing in an
+        already-retrieved component at the same ``(key, requirement)`` gets
+        an O(answer) copy instead of a fresh traversal.  Copies keep results
+        independent — a caller mutating one answer cannot corrupt another.
+        Any object speaking the bucket protocol works: a plain dict scoped to
+        one batch call, or a cross-batch
+        :class:`~repro.serving.answer_cache.AnswerCache` whose ``setdefault``
+        hands back LRU-backed bucket views.
         """
         query_id = self._global_ids[query]
         bucket = None
@@ -438,7 +441,11 @@ class ArrayQueryPath:
         component memoisation stores the array triple itself — the arrays are
         immutable by convention, so repeated hits share the same objects
         (which also lets pickle's memo collapse duplicates when a shard of
-        answers crosses a process boundary).
+        answers crosses a process boundary).  ``cache`` may be a per-batch
+        dict or a cross-batch
+        :class:`~repro.serving.answer_cache.AnswerCache`: both speak the same
+        ``setdefault`` / ``bucket.get`` / ``bucket[member] = edges`` protocol,
+        so promoting the memoisation across batches needs no BFS changes.
         """
         query_id = self._global_ids[query]
         bucket = None

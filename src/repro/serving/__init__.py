@@ -1,6 +1,6 @@
 """Serving subsystem: snapshot persistence and multi-process query serving.
 
-Two cooperating pieces turn a built index into a serveable artefact:
+Four cooperating pieces turn a built index into an always-on service:
 
 * :mod:`~repro.serving.snapshot` — the **snapshot store**.  A built
   :class:`~repro.index.degeneracy_index.DegeneracyIndex` is persisted as a
@@ -13,11 +13,24 @@ Two cooperating pieces turn a built index into a serveable artefact:
   worker processes that each reopen the same snapshot read-only (the OS
   shares the mapped pages) and shards batch query streams across them with
   input-order result reassembly.
+* :mod:`~repro.serving.supervisor` — **self-healing**.
+  :class:`~repro.serving.supervisor.SupervisedCommunityServer` respawns
+  crashed workers and reships their in-flight shards;
+  :class:`~repro.serving.supervisor.SnapshotWatcher` detects published delta
+  segments and compacted generations so reloads happen automatically.
+* :mod:`~repro.serving.frontend` / :mod:`~repro.serving.answer_cache` — the
+  **network tier**.  :class:`~repro.serving.frontend.ServingFrontend` is a
+  stdlib-asyncio socket front end that admission-controls and micro-batches
+  concurrent client streams into the fleet, backed by a cross-batch,
+  generation-keyed :class:`~repro.serving.answer_cache.AnswerCache` of
+  component answers.
 
 Everything here requires numpy; without it, persistence falls back to the
 version-1 pickle format of :mod:`repro.index.serialization`.
 """
 
+from repro.serving.answer_cache import AnswerCache
+from repro.serving.frontend import FrontendClient, ServingFrontend
 from repro.serving.server import CommunityServer
 from repro.serving.snapshot import (
     SnapshotIndex,
@@ -26,10 +39,16 @@ from repro.serving.snapshot import (
     save_snapshot_delta,
     snapshot_version,
 )
+from repro.serving.supervisor import SnapshotWatcher, SupervisedCommunityServer
 
 __all__ = [
+    "AnswerCache",
     "CommunityServer",
+    "FrontendClient",
+    "ServingFrontend",
     "SnapshotIndex",
+    "SnapshotWatcher",
+    "SupervisedCommunityServer",
     "save_snapshot",
     "save_snapshot_delta",
     "load_snapshot",

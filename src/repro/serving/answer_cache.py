@@ -1,0 +1,252 @@
+"""Cross-batch LRU cache of component answers for the serving tier.
+
+The array query path (:mod:`repro.index.traversal`) memoises community
+answers per *component* within one batch: every member of a connected
+component at ``(alpha, beta)`` shares the same answer, so one BFS serves all
+of them.  That cache used to die with the batch.  :class:`AnswerCache`
+promotes it to a cross-batch LRU so a power-law query mix — the realistic
+shape of community-search traffic — is absorbed by a handful of hot
+components instead of hitting the index again and again.
+
+Keying
+------
+Entries live in *spaces*.  A space is whatever hashable key the caller uses
+to partition answers — the traversal path uses its ``("edges", level-key,
+requirement)`` bucket keys (a bijection of ``(alpha, beta)``), the network
+front end uses ``(alpha, beta)`` directly.  Within a space an entry is one
+component, addressed by any of its member vertex ids and rooted at the first
+(or smallest) member seen.  The effective key of a cached answer is therefore
+``(generation, space, component root)`` where ``generation`` is the
+``(snapshot_id, version)`` pair the owner installs: :meth:`reset` drops every
+entry wholesale on a version swap, and :meth:`put` refuses answers computed
+against a generation that is no longer current, so a reload can never leave
+stale communities behind.
+
+Two access protocols
+--------------------
+* Direct: :meth:`get` / :meth:`put` with explicit spaces and member lists —
+  used by the front end, which knows the members of each answer it admits.
+* Dict-shaped: :meth:`setdefault` returns a bucket view whose ``get`` /
+  ``__setitem__`` match the plain-``dict`` protocol the traversal cache code
+  already speaks, so an :class:`AnswerCache` can be passed anywhere a
+  per-batch cache dict is accepted (``batch_community_edges(cache=...)``,
+  the worker loop) without touching the BFS code.
+
+The cache is thread-safe; hit/miss/eviction counters are cumulative across
+:meth:`reset` and surface through ``IndexStats.extra`` and the CLI ``stats``
+command.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["AnswerCache"]
+
+#: Sentinel for :meth:`AnswerCache.put`'s ``generation`` parameter: "admit
+#: unconditionally".  ``None`` is a legitimate generation value, so absence
+#: must be a distinct object.
+_UNCHECKED: Any = object()
+
+
+class _Entry:
+    """One cached component: the shared answer plus its member ids."""
+
+    __slots__ = ("value", "members", "token")
+
+    def __init__(
+        self, value: Any, members: List[int], token: Optional[Tuple] = None
+    ) -> None:
+        self.value = value
+        self.members = members
+        self.token = token
+
+
+class _Bucket:
+    """Dict-shaped view over one space of an :class:`AnswerCache`.
+
+    Implements exactly the subset of the ``dict`` protocol the traversal
+    memoisation uses (``get`` and ``__setitem__``), so the array BFS admits
+    components into the shared LRU without knowing it left per-batch land.
+    """
+
+    __slots__ = ("_cache", "_space")
+
+    def __init__(self, cache: "AnswerCache", space: Hashable) -> None:
+        self._cache = cache
+        self._space = space
+
+    def get(self, member: int, default: Any = None) -> Any:
+        return self._cache.get(self._space, member, default)
+
+    def __setitem__(self, member: int, value: Any) -> None:
+        self._cache.admit_member(self._space, member, value)
+
+
+class AnswerCache:
+    """Thread-safe LRU over component answers, invalidated by generation.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity in *components* (not queries): one giant community shared by
+        thousands of member vertices costs a single entry.
+    generation:
+        Opaque identity of the snapshot the cached answers were computed
+        against — conventionally ``(snapshot_id, version)``.  :meth:`put`
+        calls that pass a different generation are dropped, which fences the
+        race between an in-flight batch and a concurrent hot reload.
+    """
+
+    def __init__(
+        self, max_entries: int = 4096, generation: Optional[Tuple] = None
+    ) -> None:
+        if not isinstance(max_entries, int) or max_entries < 1:
+            raise InvalidParameterError(
+                f"max_entries must be a positive integer, got {max_entries!r}"
+            )
+        self._max_entries = max_entries
+        self._generation = generation
+        self._lock = threading.RLock()
+        # (space, root member) -> entry, in LRU order (oldest first).
+        self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
+        # (space, member) -> entry key, for O(1) lookup by any member.
+        self._members: Dict[Tuple, Tuple] = {}
+        # (space, id(value)) -> entry key, so the dict-shaped protocol can
+        # group consecutive per-member inserts of one shared answer object
+        # into a single component entry.  Entries keep their value alive, so
+        # a live token can never alias a recycled id.
+        self._identity: Dict[Tuple, Tuple] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.resets = 0
+
+    # ------------------------------------------------------------------ #
+    # direct protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> Optional[Tuple]:
+        return self._generation
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, space: Hashable, member: int, default: Any = None) -> Any:
+        """The cached answer covering ``member`` in ``space``, else ``default``."""
+        with self._lock:
+            key = self._members.get((space, member))
+            entry = None if key is None else self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.value
+
+    def put(
+        self,
+        space: Hashable,
+        members: Iterable[int],
+        value: Any,
+        generation: Any = _UNCHECKED,
+    ) -> bool:
+        """Admit one component answer; returns False if it was refused.
+
+        ``generation`` should be the generation captured *before* the answer
+        was computed: if a reload swapped the snapshot in between, the stale
+        answer is silently dropped instead of poisoning the new generation.
+        """
+        with self._lock:
+            if generation is not _UNCHECKED and generation != self._generation:
+                return False
+            member_list = sorted(set(members))
+            if not member_list:
+                return False
+            key = (space, member_list[0])
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.value = value
+                self._entries.move_to_end(key)
+                return True
+            self._entries[key] = _Entry(value, member_list)
+            for member in member_list:
+                self._members[(space, member)] = key
+            self._evict_over_capacity()
+            return True
+
+    def reset(self, generation: Optional[Tuple] = None) -> None:
+        """Drop every entry and install the new generation (version swap)."""
+        with self._lock:
+            self._entries.clear()
+            self._members.clear()
+            self._identity.clear()
+            self._generation = generation
+            self.resets += 1
+
+    def stats(self) -> Dict[str, float]:
+        """Cumulative counters, named for ``IndexStats.extra`` merging."""
+        with self._lock:
+            return {
+                "answer_cache_entries": float(len(self._entries)),
+                "answer_cache_hits": float(self.hits),
+                "answer_cache_misses": float(self.misses),
+                "answer_cache_evictions": float(self.evictions),
+                "answer_cache_resets": float(self.resets),
+            }
+
+    # ------------------------------------------------------------------ #
+    # dict-shaped protocol (traversal memoisation)
+    # ------------------------------------------------------------------ #
+    def setdefault(self, space: Hashable, default: Any = None) -> _Bucket:
+        """A dict-shaped bucket view over ``space`` (``default`` is ignored:
+        buckets are views, there is nothing to install)."""
+        return _Bucket(self, space)
+
+    def admit_member(self, space: Hashable, member: int, value: Any) -> None:
+        """Admit ``member -> value`` where ``value`` is shared per component.
+
+        The traversal cache inserts the same answer object once per component
+        member; the identity map folds those inserts into one LRU entry
+        rooted at the first member seen.
+        """
+        with self._lock:
+            token = (space, id(value))
+            key = self._identity.get(token)
+            if key is not None:
+                entry = self._entries.get(key)
+                if entry is not None and entry.value is value:
+                    if (space, member) not in self._members:
+                        self._members[(space, member)] = key
+                        entry.members.append(member)
+                    self._entries.move_to_end(key)
+                    return
+            key = (space, member)
+            self._entries[key] = _Entry(value, [member], token)
+            self._entries.move_to_end(key)
+            self._members[(space, member)] = key
+            self._identity[token] = key
+            self._evict_over_capacity()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _evict_over_capacity(self) -> None:
+        while len(self._entries) > self._max_entries:
+            key, entry = self._entries.popitem(last=False)
+            space = key[0]
+            for member in entry.members:
+                if self._members.get((space, member)) == key:
+                    del self._members[(space, member)]
+            if entry.token is not None and self._identity.get(entry.token) == key:
+                del self._identity[entry.token]
+            self.evictions += 1

@@ -27,6 +27,7 @@ import logging
 import multiprocessing
 import queue as queue_module
 import shutil
+import threading
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -87,8 +88,13 @@ class CommunityServer:
         available (workers then inherit the imported library for free) and
         ``"spawn"`` otherwise.
     shards_per_worker:
-        Each batch is split into ``num_workers * shards_per_worker`` chunks
-        pulled from a shared queue, so slow shards self-balance.
+        Each batch is split into ``num_workers * shards_per_worker`` chunks,
+        assigned round-robin across the workers' private task queues (several
+        small shards per worker approximate the balance a shared work queue
+        would give; *private* queues are what makes supervision possible — a
+        worker SIGKILLed while blocked on a shared queue's read lock would
+        wedge every other reader forever, whereas an abandoned private queue
+        hurts nobody).
     cleanup_snapshot:
         Remove the snapshot directory when the server stops.  Set by
         :meth:`CommunitySearcher.serve` for the temporary snapshots it writes.
@@ -98,6 +104,16 @@ class CommunityServer:
         indefinitely: worker *crashes* are still detected promptly via their
         exit codes, so the timeout only matters as a guard against a wedged
         (alive but silent) worker.
+    cache_entries:
+        When > 0, every worker keeps a cross-batch
+        :class:`~repro.serving.answer_cache.AnswerCache` of this capacity
+        (in components) instead of dropping its memoised answers after each
+        batch.  Workers reopen the snapshot on :meth:`reload`, so the cache
+        is implicitly invalidated on every version swap.
+
+    Thread safety: batches, :meth:`reload` and :meth:`stop` serialise on one
+    re-entrant fleet lock, so a reload requested while a batch is in flight
+    *drains* the batch first instead of tearing the workers down under it.
     """
 
     def __init__(
@@ -108,6 +124,7 @@ class CommunityServer:
         shards_per_worker: int = 4,
         cleanup_snapshot: bool = False,
         batch_timeout: Optional[float] = None,
+        cache_entries: int = 0,
     ) -> None:
         directory = getattr(snapshot, "directory", snapshot)
         self._snapshot_dir = Path(directory)
@@ -119,16 +136,31 @@ class CommunityServer:
             raise ServingError(
                 f"shards_per_worker must be >= 1, got {shards_per_worker}"
             )
+        if cache_entries < 0:
+            raise ServingError(f"cache_entries must be >= 0, got {cache_entries}")
         self._num_workers = num_workers
         self._start_method = start_method
         self._shards_per_worker = shards_per_worker
         self._cleanup_snapshot = cleanup_snapshot
         self._batch_timeout = batch_timeout
+        self._cache_entries = cache_entries
         self._processes: List[multiprocessing.Process] = []
-        self._tasks = None
+        # One private task queue per worker, aligned with _processes.
+        self._task_queues: List = []
+        self._context = None
         self._results = None
         self._batch_seq = 0
+        self._spawned = 0
         self._labels = None
+        # Serialises batches against fleet swaps (reload/stop): see class
+        # docstring.  Re-entrant because error paths inside a batch stop the
+        # fleet while the batch still holds the lock.
+        self._fleet_lock = threading.RLock()
+        # State of the batch currently holding the fleet lock, for subclasses
+        # that respawn workers mid-batch and must reship lost shards:
+        # (batch_id, kind, queries, options, bounds, pending shard-id set).
+        self._inflight: Optional[Tuple] = None
+        self._batch_crashes = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -145,6 +177,17 @@ class CommunityServer:
     def is_running(self) -> bool:
         return bool(self._processes)
 
+    @property
+    def fleet_lock(self) -> "threading.RLock":
+        """The re-entrant lock serialising batches against fleet swaps.
+
+        Exposed so a driver can make a *group* of fleet operations atomic
+        with respect to :meth:`reload` — e.g. the network front end runs
+        "batch + read snapshot metadata" under one acquisition so an answer
+        can never be paired with the metadata of a different version.
+        """
+        return self._fleet_lock
+
     def start(self) -> "CommunityServer":
         """Fork the workers and wait until every one has mapped the snapshot.
 
@@ -152,55 +195,82 @@ class CommunityServer:
         batch methods call it automatically, so explicit use only matters when
         the fork-and-mmap cost should be paid ahead of the first batch.
         """
-        if self._processes:
+        with self._fleet_lock:
+            if self._processes:
+                return self
+            if not (self._snapshot_dir / MANIFEST_NAME).is_file():
+                raise ServingError(
+                    f"{self._snapshot_dir} is not a community-index snapshot "
+                    f"(no {MANIFEST_NAME}); write one with save_snapshot() first"
+                )
+            method = self._start_method
+            if method is None:
+                method = (
+                    "fork"
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn"
+                )
+            self._context = multiprocessing.get_context(method)
+            self._results = self._context.Queue()
+            self._batch_crashes = 0
+            try:
+                for _ in range(self._num_workers):
+                    tasks, process = self._spawn_worker()
+                    self._task_queues.append(tasks)
+                    self._processes.append(process)
+                ready = 0
+                while ready < self._num_workers:
+                    message = self._next_message(_STARTUP_TIMEOUT)
+                    if message[0] == "ready":
+                        ready += 1
+                    elif message[0] == "fatal":
+                        raise _rebuild_error(message[2])
+            except BaseException:
+                self.stop(_cleanup=False)
+                raise
             return self
-        if not (self._snapshot_dir / MANIFEST_NAME).is_file():
-            raise ServingError(
-                f"{self._snapshot_dir} is not a community-index snapshot "
-                f"(no {MANIFEST_NAME}); write one with save_snapshot() first"
-            )
-        method = self._start_method
-        if method is None:
-            method = (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
-            )
-        context = multiprocessing.get_context(method)
-        self._tasks = context.Queue()
-        self._results = context.Queue()
-        self._processes = [
-            context.Process(
-                target=worker_main,
-                args=(str(self._snapshot_dir), self._tasks, self._results),
-                daemon=True,
-                name=f"repro-serve-{i}",
-            )
-            for i in range(self._num_workers)
-        ]
-        try:
-            for process in self._processes:
-                process.start()
-            ready = 0
-            while ready < self._num_workers:
-                message = self._next_message(_STARTUP_TIMEOUT)
-                if message[0] == "ready":
-                    ready += 1
-                elif message[0] == "fatal":
-                    raise _rebuild_error(message[2])
-        except BaseException:
-            self.stop(_cleanup=False)
-            raise
-        return self
+
+    def _spawn_worker(self) -> Tuple[object, multiprocessing.Process]:
+        """Fork one worker with a fresh private task queue; return both."""
+        self._spawned += 1
+        tasks = self._context.Queue()
+        process = self._context.Process(
+            target=worker_main,
+            args=(
+                str(self._snapshot_dir),
+                tasks,
+                self._results,
+                self._cache_entries,
+            ),
+            daemon=True,
+            name=f"repro-serve-{self._spawned}",
+        )
+        process.start()
+        return tasks, process
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live worker processes (empty when stopped)."""
+        return [p.pid for p in self._processes if p.pid is not None]
 
     def stop(self, _cleanup: bool = True) -> None:
-        """Stop the workers; optionally remove an owned snapshot directory."""
+        """Stop the workers; optionally remove an owned snapshot directory.
+
+        Waits for an in-flight batch on another thread to drain first (the
+        fleet lock), so callers never lose shard results to a shutdown.
+        """
+        with self._fleet_lock:
+            self._stop_locked()
+        if _cleanup and self._cleanup_snapshot:
+            shutil.rmtree(self._snapshot_dir, ignore_errors=True)
+            self._cleanup_snapshot = False
+
+    def _stop_locked(self) -> None:
         if self._processes:
-            for _ in self._processes:
+            for tasks in self._task_queues:
                 try:
-                    self._tasks.put(None)
+                    tasks.put(None)
                 except (OSError, ValueError):  # pragma: no cover - queue gone
-                    break
+                    continue
             # process.ident is None for workers that never started (a partial
             # startup failure); joining those would raise and mask the cause.
             for process in self._processes:
@@ -211,15 +281,12 @@ class CommunityServer:
                     process.terminate()
                     process.join(timeout=5.0)
             self._processes = []
-            for q in (self._tasks, self._results):
+            for q in self._task_queues + [self._results]:
                 if q is not None:
                     q.cancel_join_thread()
                     q.close()
-            self._tasks = None
+            self._task_queues = []
             self._results = None
-        if _cleanup and self._cleanup_snapshot:
-            shutil.rmtree(self._snapshot_dir, ignore_errors=True)
-            self._cleanup_snapshot = False
 
     def reload(self) -> "CommunityServer":
         """Swap the workers onto the snapshot directory's current version.
@@ -227,15 +294,18 @@ class CommunityServer:
         A maintained index persisted with ``save_index(format="snapshot")``
         appends delta segments next to the base the fleet is serving from;
         ``reload`` restarts the workers so every one reopens the snapshot and
-        replays the new deltas.  Batches are synchronous, so calling this
-        between batches swaps versions without dropping a query; a server
-        that was not running is left stopped.  Returns ``self``.
+        replays the new deltas.  The swap takes the fleet lock, so a batch in
+        flight on another thread drains completely before the workers go
+        down — no shard results are dropped — and the next batch runs on the
+        new version.  A server that was not running is left stopped.
+        Returns ``self``.
         """
-        was_running = self.is_running
-        self.stop(_cleanup=False)
-        self._labels = None
-        if was_running:
-            self.start()
+        with self._fleet_lock:
+            was_running = self.is_running
+            self._stop_locked()
+            self._labels = None
+            if was_running:
+                self.start()
         return self
 
     def snapshot_version(self) -> int:
@@ -336,6 +406,44 @@ class CommunityServer:
             )
         return self._apply_policy(queries, results, on_empty)
 
+    def batch_community_wire(
+        self,
+        queries: Iterable[BatchQuery],
+        on_empty: str = "none",
+    ) -> List[Optional[Tuple]]:
+        """:meth:`batch_community` without the lazy graph wrapping.
+
+        Answers are the raw wire triples ``(upper ids, lower ids, weights)``
+        exactly as they crossed the worker boundary (``None`` for queries
+        outside their core under ``on_empty="none"``).  This is the form the
+        network front end caches and serialises, so it skips even the cheap
+        :class:`~repro.serving.wire.DeferredCommunity` shell.
+        """
+        check_on_empty(on_empty)
+        queries = list(queries)
+        wire = self._scatter_gather("community", queries, {})
+        return self._apply_policy(queries, wire, on_empty)
+
+    def batch_significant_wire(
+        self,
+        queries: Iterable[BatchQuery],
+        method: str = "auto",
+        epsilon: float = 2.0,
+        on_empty: str = "none",
+    ) -> List[Optional[object]]:
+        """:meth:`batch_significant_communities` without the graph wrapping.
+
+        Index-backed answers are ``(wire triple, resolved method, search
+        space edges)`` tuples; ``"baseline"`` answers remain materialised
+        :class:`~repro.search.result.SearchResult` objects.
+        """
+        check_on_empty(on_empty)
+        queries = list(queries)
+        answers = self._scatter_gather(
+            "significant", queries, {"method": method, "epsilon": epsilon}
+        )
+        return self._apply_policy(queries, answers, on_empty)
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
@@ -356,44 +464,69 @@ class CommunityServer:
     ) -> List:
         if not queries:
             return []
-        self.start()
-        shard_count = min(len(queries), self._num_workers * self._shards_per_worker)
-        bounds: List[Tuple[int, int]] = []
-        base, remainder = divmod(len(queries), shard_count)
-        position = 0
-        for shard_id in range(shard_count):
-            size = base + (1 if shard_id < remainder else 0)
-            bounds.append((position, position + size))
-            position += size
-        self._batch_seq += 1
-        batch_id = self._batch_seq
-        for shard_id, (lo, hi) in enumerate(bounds):
-            self._tasks.put((batch_id, shard_id, kind, queries[lo:hi], options))
-        answers: List = [None] * len(queries)
-        pending = set(range(shard_count))
-        while pending:
-            message = self._next_message(self._batch_timeout)
-            tag = message[0]
-            if tag in ("ready",):  # late duplicate; harmless
-                continue
-            if tag == "fatal":
-                raise _rebuild_error(message[2])
-            _, msg_batch, shard_id, payload = message
-            if msg_batch != batch_id:
-                continue  # stale shard of a batch that already raised
-            if tag == "error":
-                raise _rebuild_error(payload)
-            lo, hi = bounds[shard_id]
-            answers[lo:hi] = payload
-            pending.discard(shard_id)
-        return answers
+        with self._fleet_lock:
+            self.start()
+            shard_count = min(
+                len(queries), self._num_workers * self._shards_per_worker
+            )
+            bounds: List[Tuple[int, int]] = []
+            base, remainder = divmod(len(queries), shard_count)
+            position = 0
+            for shard_id in range(shard_count):
+                size = base + (1 if shard_id < remainder else 0)
+                bounds.append((position, position + size))
+                position += size
+            self._batch_seq += 1
+            self._batch_crashes = 0
+            batch_id = self._batch_seq
+            pending = set(range(shard_count))
+            self._inflight = (batch_id, kind, queries, options, bounds, pending)
+            try:
+                for shard_id, (lo, hi) in enumerate(bounds):
+                    # Static round-robin over the private queues; several
+                    # shards per worker keep the load approximately even.
+                    tasks = self._task_queues[shard_id % len(self._task_queues)]
+                    tasks.put((batch_id, shard_id, kind, queries[lo:hi], options))
+                answers: List = [None] * len(queries)
+                while pending:
+                    message = self._next_message(self._batch_timeout)
+                    tag = message[0]
+                    if tag in ("ready",):  # respawn or late duplicate; harmless
+                        continue
+                    if tag == "fatal":
+                        raise _rebuild_error(message[2])
+                    _, msg_batch, shard_id, payload = message
+                    if msg_batch != batch_id:
+                        continue  # stale shard of a batch that already raised
+                    if tag == "error":
+                        raise _rebuild_error(payload)
+                    lo, hi = bounds[shard_id]
+                    answers[lo:hi] = payload
+                    pending.discard(shard_id)
+                return answers
+            finally:
+                self._inflight = None
+
+    def _handle_worker_death(
+        self, dead: Sequence[multiprocessing.Process]
+    ) -> None:
+        """React to crashed workers noticed while waiting for results.
+
+        The base server has no supervision: it tears the fleet down and
+        surfaces one typed error.  :class:`SupervisedCommunityServer`
+        overrides this to respawn the workers and reship lost shards.
+        """
+        names = ", ".join(p.name for p in dead)
+        self.stop(_cleanup=False)
+        raise ServingError(f"worker process(es) {names} died while serving a batch")
 
     def _next_message(self, timeout: Optional[float]) -> Tuple[object, ...]:
         """Read one protocol message, watching worker liveness while waiting.
 
         ``timeout=None`` waits indefinitely — worker deaths are still caught
-        via their exit codes on every poll, so only a wedged-but-alive worker
-        could stall the caller.
+        via their exit codes on every poll and handed to
+        :meth:`_handle_worker_death`, so only a wedged-but-alive worker could
+        stall the caller.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
@@ -402,11 +535,7 @@ class CommunityServer:
             except queue_module.Empty:
                 dead = [p for p in self._processes if p.exitcode not in (None, 0)]
                 if dead:
-                    names = ", ".join(p.name for p in dead)
-                    self.stop(_cleanup=False)
-                    raise ServingError(
-                        f"worker process(es) {names} died while serving a batch"
-                    )
+                    self._handle_worker_death(dead)
                 if deadline is not None and time.monotonic() > deadline:
                     self.stop(_cleanup=False)
                     raise ServingError(
